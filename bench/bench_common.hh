@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the table-regeneration benchmarks.
+ */
+
+#ifndef HIERAGEN_BENCH_COMMON_HH
+#define HIERAGEN_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/hiera.hh"
+#include "protocols/registry.hh"
+#include "verif/checker.hh"
+
+namespace hieragen::bench
+{
+
+/** The paper's Table II/III protocol combinations, in table order. */
+inline std::vector<std::pair<std::string, std::string>>
+tableCombos()
+{
+    return {{"MSI", "MI"},   {"MI", "MSI"},    {"MSI", "MSI"},
+            {"MESI", "MSI"}, {"MESI", "MESI"}, {"MOSI", "MSI"},
+            {"MOSI", "MOSI"}, {"MOESI", "MOESI"}};
+}
+
+/** "states/transitions" cell, from the reachability census when it
+ *  ran (pruned counts) or the raw machine otherwise. */
+inline std::string
+cell(const Machine &m, bool use_census)
+{
+    size_t states =
+        use_census ? m.numReachedStates() : m.numStates();
+    size_t trans =
+        use_census ? m.numReachedTransitions() : m.numTransitions();
+    return std::to_string(states) + "/" + std::to_string(trans);
+}
+
+/** Run the reachability census (Section V-E) over a hierarchical
+ *  protocol so table counts only include reachable pairs. */
+inline bool
+censusHier(HierProtocol &p, int budget = 2)
+{
+    verif::System sys = verif::buildHierSystem(p, 2, 2);
+    verif::CheckOptions opts;
+    opts.accessBudget = budget;
+    opts.atomicTransactions = p.mode == ConcurrencyMode::Atomic;
+    opts.traceOnError = false;
+    auto r = verif::pruneUnreachable(
+        sys, opts,
+        {&p.cacheL, &p.dirCache, &p.cacheH, &p.root});
+    if (!r.ok)
+        std::cerr << "census failed for " << p.name << ": "
+                  << r.summary() << "\n";
+    return r.ok;
+}
+
+inline bool
+censusFlat(Protocol &p, bool atomic, int num_caches = 2,
+           int budget = 2)
+{
+    verif::System sys = verif::buildFlatSystem(p, num_caches);
+    verif::CheckOptions opts;
+    opts.accessBudget = budget;
+    opts.atomicTransactions = atomic;
+    opts.traceOnError = false;
+    auto r = verif::pruneUnreachable(sys, opts,
+                                     {&p.cache, &p.directory});
+    if (!r.ok)
+        std::cerr << "census failed for " << p.name << ": "
+                  << r.summary() << "\n";
+    return r.ok;
+}
+
+} // namespace hieragen::bench
+
+#endif // HIERAGEN_BENCH_COMMON_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Generation-time benchmark (paper Section VIII-B: "HieraGen took
+ * less than 10 seconds to correctly generate each of the protocols").
+ * Uses google-benchmark over the full pipeline: DSL compile + Step 1 +
+ * Step 2.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/hiera.hh"
+#include "protocols/registry.hh"
+
+using namespace hieragen;
+
+namespace
+{
+
+void
+generateCombo(benchmark::State &state, const char *lo, const char *hi,
+              ConcurrencyMode mode)
+{
+    for (auto _ : state) {
+        Protocol l = protocols::builtinProtocol(lo);
+        Protocol h = protocols::builtinProtocol(hi);
+        core::HierGenOptions opts;
+        opts.mode = mode;
+        HierProtocol p = core::generate(l, h, opts);
+        benchmark::DoNotOptimize(p.dirCache.numTransitions());
+    }
+}
+
+} // namespace
+
+#define GEN_BENCH(name, lo, hi)                                        \
+    void name##_stalling(benchmark::State &s)                          \
+    {                                                                  \
+        generateCombo(s, lo, hi, ConcurrencyMode::Stalling);           \
+    }                                                                  \
+    BENCHMARK(name##_stalling)->Unit(benchmark::kMillisecond);         \
+    void name##_nonstalling(benchmark::State &s)                       \
+    {                                                                  \
+        generateCombo(s, lo, hi, ConcurrencyMode::NonStalling);        \
+    }                                                                  \
+    BENCHMARK(name##_nonstalling)->Unit(benchmark::kMillisecond)
+
+GEN_BENCH(gen_MSI_MI, "MSI", "MI");
+GEN_BENCH(gen_MI_MSI, "MI", "MSI");
+GEN_BENCH(gen_MSI_MSI, "MSI", "MSI");
+GEN_BENCH(gen_MESI_MSI, "MESI", "MSI");
+GEN_BENCH(gen_MESI_MESI, "MESI", "MESI");
+GEN_BENCH(gen_MOSI_MSI, "MOSI", "MSI");
+GEN_BENCH(gen_MOSI_MOSI, "MOSI", "MOSI");
+GEN_BENCH(gen_MOESI_MOESI, "MOESI", "MOESI");
+
+static void
+gen_dsl_compile_only(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Protocol p = protocols::builtinProtocol("MOESI");
+        benchmark::DoNotOptimize(p.cache.numTransitions());
+    }
+}
+BENCHMARK(gen_dsl_compile_only)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

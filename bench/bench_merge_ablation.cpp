@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Section V-E ablation: equivalent-state merging and reachability
+ * pruning. The paper observes that concurrent protocols can have
+ * *fewer* states than their atomic counterparts because HieraGen
+ * merges states a human designer would keep separate (MI^A/SI^A).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "protogen/concurrent.hh"
+
+using namespace hieragen;
+
+int
+main()
+{
+    std::cout << "Section V-E ablation: state merging & reachability "
+                 "pruning (flat concurrent protocols)\n\n";
+    std::cout << std::left << std::setw(10) << "protocol"
+              << std::setw(18) << "no-merge (cache)" << std::setw(18)
+              << "merged (cache)" << std::setw(10) << "merged#"
+              << std::setw(18) << "reachable" << "\n";
+
+    for (const auto &name : protocols::builtinNames()) {
+        Protocol atomic = protocols::builtinProtocol(name);
+
+        protogen::ConcurrencyOptions no_merge;
+        no_merge.mode = ConcurrencyMode::NonStalling;
+        no_merge.mergeEquivalentStates = false;
+        Protocol raw = protogen::makeConcurrent(atomic, no_merge);
+
+        protogen::ConcurrencyOptions with_merge = no_merge;
+        with_merge.mergeEquivalentStates = true;
+        protogen::ConcurrencyStats st;
+        Protocol merged =
+            protogen::makeConcurrent(atomic, with_merge, &st);
+
+        Protocol pruned = merged;
+        bench::censusFlat(pruned, /*atomic=*/false, 3);
+
+        std::cout << std::left << std::setw(10) << name
+                  << std::setw(18)
+                  << (std::to_string(raw.cache.numStates()) + "/" +
+                      std::to_string(raw.cache.numTransitions()))
+                  << std::setw(18)
+                  << (std::to_string(merged.cache.numStates()) + "/" +
+                      std::to_string(merged.cache.numTransitions()))
+                  << std::setw(10) << st.mergedStates << std::setw(18)
+                  << bench::cell(pruned.cache, true) << "\n";
+    }
+    std::cout << "\nReachable counts are what Tables I-III report; "
+                 "unreachable state/event pairs are pruned exactly as "
+                 "in Section V-E.\n";
+    return 0;
+}

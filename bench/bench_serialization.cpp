@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Section VI / Figure 7: the unique-serialization-point invariant.
+ * We take a census over the explored state space of a concurrent
+ * hierarchical protocol: every racing pair of transactions resolves,
+ * and the system never violates SWMR — demonstrating that the two
+ * serialization points (dir/cache and root) never both win.
+ *
+ * Measured as: exhaustive check of the racing configurations the
+ * paper describes (two lower writers; one lower + one higher writer),
+ * plus the full interleaved exploration.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace hieragen;
+
+int
+main()
+{
+    Protocol l = protocols::builtinProtocol("MSI");
+    Protocol h = protocols::builtinProtocol("MSI");
+    core::HierGenOptions opts;
+    opts.mode = ConcurrencyMode::NonStalling;
+    HierProtocol p = core::generate(l, h, opts);
+
+    std::cout << "Figure 7 / Section VI: serialization-point census "
+                 "for " << p.name << " (" << toString(p.mode)
+              << ")\n\n";
+
+    struct Config
+    {
+        const char *what;
+        int nh, nl;
+        int budget;
+    } configs[] = {
+        {"two lower writers race at the dir/cache", 1, 2, 2},
+        {"lower writer vs higher writer race at the root", 1, 1, 3},
+        {"full configuration (2 cache-H, 2 cache-L)", 2, 2, 2},
+    };
+
+    bool all_ok = true;
+    for (const auto &c : configs) {
+        verif::CheckOptions vo;
+        vo.accessBudget = c.budget;
+        vo.traceOnError = false;
+        auto r = verif::checkHier(p, c.nh, c.nl, vo);
+        all_ok = all_ok && r.ok;
+        std::cout << c.what << ":\n  " << r.summary() << "\n";
+    }
+
+    std::cout << (all_ok
+                      ? "\nEvery racing pair serialized at exactly one "
+                        "directory: no SWMR violation, no deadlock.\n"
+                      : "\nINVARIANT VIOLATED\n");
+    return all_ok ? 0 : 1;
+}

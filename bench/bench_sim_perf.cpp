@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Simulator throughput benchmark (google-benchmark): how fast the
+ * interpreted FSMs execute workloads, per protocol family and
+ * concurrency mode. Also doubles as a soak test: any protocol error
+ * aborts the benchmark.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/hiera.hh"
+#include "protocols/registry.hh"
+#include "protogen/concurrent.hh"
+#include "sim/simulator.hh"
+
+using namespace hieragen;
+
+namespace
+{
+
+void
+simFlat(benchmark::State &state, const char *name, ConcurrencyMode mode)
+{
+    Protocol p = protogen::makeConcurrent(
+        protocols::builtinProtocol(name), mode);
+    sim::SimConfig cfg;
+    cfg.numBlocks = 16;
+    cfg.cacheCapacity = 6;
+    cfg.maxCycles = 5000;
+    uint64_t accesses = 0;
+    for (auto _ : state) {
+        cfg.seed++;
+        auto st = sim::simulateFlat(p, cfg);
+        if (st.protocolError)
+            state.SkipWithError(st.errorDetail.c_str());
+        accesses += st.accesses;
+    }
+    state.counters["accesses/s"] = benchmark::Counter(
+        static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+
+void
+simHier(benchmark::State &state, const char *lo, const char *hi,
+        ConcurrencyMode mode)
+{
+    Protocol l = protocols::builtinProtocol(lo);
+    Protocol h = protocols::builtinProtocol(hi);
+    core::HierGenOptions opts;
+    opts.mode = mode;
+    HierProtocol p = core::generate(l, h, opts);
+    sim::SimConfig cfg;
+    cfg.numBlocks = 16;
+    cfg.cacheCapacity = 6;
+    cfg.maxCycles = 5000;
+    uint64_t accesses = 0;
+    for (auto _ : state) {
+        cfg.seed++;
+        auto st = sim::simulateHier(p, cfg);
+        if (st.protocolError)
+            state.SkipWithError(st.errorDetail.c_str());
+        accesses += st.accesses;
+    }
+    state.counters["accesses/s"] = benchmark::Counter(
+        static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+static void sim_flat_msi_stalling(benchmark::State &s)
+{ simFlat(s, "MSI", ConcurrencyMode::Stalling); }
+BENCHMARK(sim_flat_msi_stalling)->Unit(benchmark::kMillisecond);
+
+static void sim_flat_msi_nonstalling(benchmark::State &s)
+{ simFlat(s, "MSI", ConcurrencyMode::NonStalling); }
+BENCHMARK(sim_flat_msi_nonstalling)->Unit(benchmark::kMillisecond);
+
+static void sim_flat_moesi_nonstalling(benchmark::State &s)
+{ simFlat(s, "MOESI", ConcurrencyMode::NonStalling); }
+BENCHMARK(sim_flat_moesi_nonstalling)->Unit(benchmark::kMillisecond);
+
+static void sim_hier_msi_msi_stalling(benchmark::State &s)
+{ simHier(s, "MSI", "MSI", ConcurrencyMode::Stalling); }
+BENCHMARK(sim_hier_msi_msi_stalling)->Unit(benchmark::kMillisecond);
+
+static void sim_hier_mesi_mesi_stalling(benchmark::State &s)
+{ simHier(s, "MESI", "MESI", ConcurrencyMode::Stalling); }
+BENCHMARK(sim_hier_mesi_mesi_stalling)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Quickstart: generate a concurrent hierarchical MSI/MSI protocol from
+ * the built-in flat SSPs, print its complexity, verify it, and emit a
+ * Murphi model — the complete HieraGen tool flow (paper Figure 2).
+ *
+ *   ./quickstart [lowerSSP] [higherSSP]
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "core/hiera.hh"
+#include "murphi/emit.hh"
+#include "protocols/registry.hh"
+#include "verif/checker.hh"
+
+using namespace hieragen;
+
+int
+main(int argc, char **argv)
+{
+    std::string lower_name = argc > 1 ? argv[1] : "MSI";
+    std::string higher_name = argc > 2 ? argv[2] : "MSI";
+
+    std::cout << "HieraGen-CC quickstart: composing " << lower_name
+              << " (lower) with " << higher_name << " (higher)\n\n";
+
+    // 1. The inputs: atomic stable-state protocols from the library.
+    Protocol lower = protocols::builtinProtocol(lower_name);
+    Protocol higher = protocols::builtinProtocol(higher_name);
+    std::cout << "input SSP-L cache: " << lower.cache.numStableStates()
+              << " stable states; SSP-H cache: "
+              << higher.cache.numStableStates() << " stable states\n";
+
+    // 2. Step 1 + Step 2: the hierarchical concurrent protocol.
+    core::HierGenOptions opts;
+    opts.mode = ConcurrencyMode::NonStalling;
+    core::HierGenStats gen_stats;
+    HierProtocol p = core::generate(lower, higher, opts, &gen_stats);
+
+    std::cout << "\ngenerated " << p.name << " ("
+              << toString(p.mode) << "):\n";
+    for (const Machine *m : p.machines()) {
+        std::cout << "  " << m->name() << ": " << m->numStates()
+                  << " states, " << m->numTransitions()
+                  << " transitions\n";
+    }
+    std::cout << "  race transitions added: "
+              << gen_stats.concurrency.pastRaceTransitions
+              << ", deferral states: "
+              << gen_stats.concurrency.futureDeferStates << "\n";
+
+    // 3. Verify safety (SWMR + data-value) and deadlock freedom.
+    verif::CheckOptions copts;
+    copts.accessBudget = 2;
+    auto result = verif::checkHier(p, 2, 2, copts);
+    std::cout << "\nverification (2 cache-H, 2 cache-L): "
+              << result.summary() << "\n";
+    if (!result.ok) {
+        for (const auto &line : result.trace)
+            std::cout << "  " << line << "\n";
+        return 1;
+    }
+
+    // 4. Emit the Murphi model.
+    std::string murphi_text = murphi::emitHier(p);
+    std::string path = p.name;
+    for (char &c : path) {
+        if (c == '/')
+            c = '_';
+    }
+    path += ".m";
+    std::ofstream(path) << murphi_text;
+    std::cout << "\nMurphi model written to " << path << " ("
+              << murphi_text.size() << " bytes)\n";
+    return 0;
+}

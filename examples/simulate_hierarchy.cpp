@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Running workloads on a generated hierarchical protocol: shows the
+ * locality benefit hierarchy exists for — private/subtree-local
+ * traffic stays below the dir/cache instead of crossing the root.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/hiera.hh"
+#include "protocols/registry.hh"
+#include "sim/simulator.hh"
+
+using namespace hieragen;
+
+int
+main()
+{
+    Protocol l = protocols::builtinProtocol("MESI");
+    Protocol h = protocols::builtinProtocol("MESI");
+    core::HierGenOptions opts;
+    opts.mode = ConcurrencyMode::Stalling;
+    HierProtocol p = core::generate(l, h, opts);
+    std::cout << "protocol " << p.name << " (" << toString(p.mode)
+              << ")\n\n";
+
+    std::cout << std::left << std::setw(20) << "workload"
+              << std::right << std::setw(10) << "accesses"
+              << std::setw(8) << "hits" << std::setw(8) << "misses"
+              << std::setw(10) << "msgs-L" << std::setw(10) << "msgs-H"
+              << std::setw(12) << "missLat" << "\n";
+
+    for (auto pat :
+         {sim::Pattern::UniformRandom, sim::Pattern::ProducerConsumer,
+          sim::Pattern::Migratory, sim::Pattern::PrivateBlocks}) {
+        sim::SimConfig cfg;
+        cfg.pattern = pat;
+        cfg.numBlocks = 16;
+        cfg.cacheCapacity = 6;
+        cfg.maxCycles = 30000;
+        auto st = sim::simulateHier(p, cfg);
+        if (st.protocolError) {
+            std::cout << toString(pat)
+                      << " PROTOCOL ERROR: " << st.errorDetail << "\n";
+            return 1;
+        }
+        std::cout << std::left << std::setw(20) << toString(pat)
+                  << std::right << std::setw(10) << st.accesses
+                  << std::setw(8) << st.hits << std::setw(8)
+                  << st.misses << std::setw(10) << st.messagesLower
+                  << std::setw(10) << st.messagesHigher
+                  << std::setw(12) << std::fixed
+                  << std::setprecision(1) << st.avgMissLatency()
+                  << "\n";
+    }
+    std::cout << "\nNote how subtree-local patterns keep traffic on "
+                 "the lower level (msgs-L vs msgs-H).\n";
+    return 0;
+}

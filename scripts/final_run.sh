@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Final deliverable run: tests and benches with recorded outputs.
+set -u
+cd "$(dirname "$0")/.."
+ctest --test-dir build --timeout 3000 2>&1 | tee /root/repo/test_output.txt
+{
+    for b in build/bench/*; do
+        if [ -x "$b" ] && [ ! -d "$b" ] && [[ "$(basename $b)" != CMake* ]]; then
+            echo "===== $(basename "$b") ====="
+            timeout 3600 "$b"
+            echo
+        fi
+    done
+} 2>&1 | tee /root/repo/bench_output.txt

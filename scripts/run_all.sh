@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full reproduction driver: build, test, run every bench, and record
+# the outputs the repository's EXPERIMENTS.md refers to.
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+    for b in build/bench/*; do
+        if [ -x "$b" ] && [ ! -d "$b" ]; then
+            echo "===== $(basename "$b") ====="
+            "$b"
+            echo
+        fi
+    done
+} 2>&1 | tee bench_output.txt
+
+echo "===== examples ====="
+for e in quickstart transaction_flows simulate_hierarchy \
+         custom_protocol three_level; do
+    echo "--- $e ---"
+    ./build/examples/$e || exit 1
+done

@@ -1,0 +1,1155 @@
+#include "core/compose.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "fsm/remap.hh"
+#include "util/logging.hh"
+
+namespace hieragen::core
+{
+
+namespace
+{
+
+/** Effective permission of a cache state, counting silent upgrades. */
+Perm
+effPerm(const State &s)
+{
+    if (s.silentUpgrade)
+        return Perm::ReadWrite;
+    return s.perm;
+}
+
+class Composer
+{
+  public:
+    Composer(const Protocol &lower, const Protocol &higher,
+             const ComposeOptions &opts)
+        : opts_(opts)
+    {
+        out_.name = lower.name + "/" + higher.name;
+        auto remap_l = out_.msgs.import(lower.msgs, Level::Lower);
+        auto remap_h = out_.msgs.import(higher.msgs, Level::Higher);
+
+        out_.cacheL = remapMachineMsgs(lower.cache, remap_l);
+        out_.cacheL.setName("cache-L");
+        out_.cacheH = remapMachineMsgs(higher.cache, remap_h);
+        out_.cacheH.setName("cache-H");
+        out_.root = remapMachineMsgs(higher.directory, remap_h);
+        out_.root.setName("root");
+        out_.infoL = remapSspInfo(lower.info, remap_l);
+        out_.infoH = remapSspInfo(higher.info, remap_h);
+
+        dirL_ = remapMachineMsgs(lower.directory, remap_l);
+        cacheH_ = out_.cacheH;  // handler source for the upper half
+
+        dc_ = Machine("dircache", MachineRole::DirCache);
+    }
+
+    HierProtocol
+    run()
+    {
+        buildRespFinalPerms();
+        ensureStable(cacheH_.initial(), dirL_.initial());
+        dc_.setInitial(0);
+        while (!work_.empty()) {
+            auto [ch, dl] = work_.front();
+            work_.pop_front();
+            expand(ch, dl);
+        }
+        out_.dirCache = std::move(dc_);
+        return std::move(out_);
+    }
+
+  private:
+    ComposeOptions opts_;
+    HierProtocol out_;
+    Machine dirL_;    ///< remapped dir-L (handler source)
+    Machine cacheH_;  ///< remapped cache-H (handler source)
+    Machine dc_;      ///< the dir/cache under construction
+    std::map<std::pair<StateId, StateId>, StateId> stable_;
+    std::deque<std::pair<StateId, StateId>> work_;
+
+    /** Memoized composed copies of dir-L / cache-H transients. */
+    std::map<std::string, StateId> transients_;
+
+    /** respType -> strongest cache-L permission it confers, per access. */
+    std::map<std::pair<Access, MsgTypeId>, Perm> respPermL_;
+
+    // ---------------------------------------------------------------
+    // Derivations over the input SSPs.
+    // ---------------------------------------------------------------
+
+    void
+    buildRespFinalPerms()
+    {
+        const Machine &cl = out_.cacheL;
+        for (StateId s = 0; s < static_cast<StateId>(cl.numStates());
+             ++s) {
+            const State &st = cl.state(s);
+            if (st.stable || !st.hasChain)
+                continue;
+            for (const auto &[key, alts] : cl.table()) {
+                if (key.first != s ||
+                    key.second.kind != EventKey::Kind::Msg) {
+                    continue;
+                }
+                for (const auto &t : alts) {
+                    if (t.kind != TransKind::Execute ||
+                        t.next == kNoState ||
+                        !cl.state(t.next).stable) {
+                        continue;
+                    }
+                    Perm p = effPerm(cl.state(t.next));
+                    auto k = std::make_pair(st.chainAccess,
+                                            key.second.type);
+                    auto it = respPermL_.find(k);
+                    if (it == respPermL_.end() ||
+                        !permCovers(it->second, p)) {
+                        respPermL_[k] = p;
+                    }
+                }
+            }
+        }
+    }
+
+    /** Does @p dl track a lower-level owner (dirty data below)? */
+    bool
+    dirStateOwned(StateId dl) const
+    {
+        for (const auto &[key, alts] : dirL_.table()) {
+            if (key.first != dl)
+                continue;
+            for (const auto &t : alts) {
+                if (t.guard == Guard::FromOwner ||
+                    t.guard == Guard::ReqIsOwner) {
+                    return true;
+                }
+                for (const Op &op : t.ops) {
+                    if (op.code == OpCode::Send &&
+                        op.send.dst == Dst::Owner) {
+                        return true;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+
+    /** Cache-H state after a silent upgrade from @p ch. */
+    StateId
+    upgradeTarget(StateId ch) const
+    {
+        auto it = out_.infoH.cachePaths.find({ch, Access::Store});
+        HG_ASSERT(it != out_.infoH.cachePaths.end() && it->second.hit,
+                  "silent upgrade state without a store hit");
+        return *it->second.finalStates.begin();
+    }
+
+    /** Responses a lower owner's forward handler sends back to us
+     *  (both the requestor copy and any parent writeback reach the
+     *  dir/cache during a proxy transaction). */
+    std::set<std::pair<MsgTypeId, bool>>  // (type, carriesData)
+    ownerResponses(MsgTypeId fwd_l) const
+    {
+        std::set<std::pair<MsgTypeId, bool>> out;
+        const Machine &cl = out_.cacheL;
+        for (StateId s = 0; s < static_cast<StateId>(cl.numStates());
+             ++s) {
+            if (!cl.state(s).stable || !cl.state(s).owner)
+                continue;
+            const auto *alts =
+                cl.transitionsFor(s, EventKey::mkMsg(fwd_l));
+            if (!alts)
+                continue;
+            for (const auto &t : *alts) {
+                for (const Op &op : t.ops) {
+                    if (op.code != OpCode::Send)
+                        continue;
+                    if (op.send.dst == Dst::MsgReq ||
+                        op.send.dst == Dst::Parent) {
+                        out.insert({op.send.type,
+                                    out_.msgs[op.send.type]
+                                        .carriesData});
+                    }
+                }
+            }
+        }
+        return out;
+    }
+
+    // ---------------------------------------------------------------
+    // Composed state management.
+    // ---------------------------------------------------------------
+
+    StateId
+    ensureStable(StateId ch, StateId dl)
+    {
+        auto it = stable_.find({ch, dl});
+        if (it != stable_.end())
+            return it->second;
+        const State &hs = cacheH_.state(ch);
+        const State &ls = dirL_.state(dl);
+        State st;
+        st.name = hs.name + "_" + ls.name;
+        st.stable = true;
+        st.perm = hs.perm;
+        st.owner = hs.owner;
+        st.dirty = hs.dirty;
+        st.silentUpgrade = hs.silentUpgrade;
+        st.cacheHPart = ch;
+        st.dirLPart = dl;
+        // Owner-stable (O-like) flows through from the dir-L half so
+        // epoch stamping survives encapsulation of the upgrade path.
+        st.ownerStablePart = oLikeDirL(dl);
+        StateId id = dc_.addState(st);
+        stable_[{ch, dl}] = id;
+        work_.push_back({ch, dl});
+        return id;
+    }
+
+    /** Is dir-L state @p dl owner-stable (O-like)? */
+    bool
+    oLikeDirL(StateId dl) const
+    {
+        for (const auto &[key, alts] : dirL_.table()) {
+            if (key.first != dl)
+                continue;
+            for (const auto &alt : alts) {
+                if (alt.guard == Guard::ReqIsOwner)
+                    return true;
+            }
+        }
+        return false;
+    }
+
+    StateId
+    newTransient(const std::string &name, StateId start_composed,
+                 MsgTypeId chain_req, Access chain_access, int phase,
+                 bool has_chain, StateId dl_ctx = kNoState)
+    {
+        auto it = transients_.find(name);
+        if (it != transients_.end())
+            return it->second;
+        State st;
+        st.name = name;
+        st.stable = false;
+        st.startStable = start_composed;
+        st.hasChain = has_chain;
+        st.chainReqMsg = chain_req;
+        st.chainAccess = chain_access;
+        st.chainPhase = phase;
+        if (dl_ctx != kNoState)
+            st.ownerStablePart = oLikeDirL(dl_ctx);
+        StateId id = dc_.addState(st);
+        transients_[name] = id;
+        return id;
+    }
+
+    // ---------------------------------------------------------------
+    // Expansion.
+    // ---------------------------------------------------------------
+
+    void
+    expand(StateId ch, StateId dl)
+    {
+        // (A) Lower-level requests the dir-L part handles at dl.
+        for (size_t ti = 0; ti < out_.msgs.size(); ++ti) {
+            MsgTypeId r = static_cast<MsgTypeId>(ti);
+            if (out_.msgs[r].cls != MsgClass::Request ||
+                out_.msgs[r].level != Level::Lower) {
+                continue;
+            }
+            if (!dirL_.hasTransition(dl, EventKey::mkMsg(r)))
+                continue;
+            buildLowerRequest(ch, dl, r);
+        }
+
+        // (B) Higher-level forwards the cache-H part handles at ch.
+        for (size_t ti = 0; ti < out_.msgs.size(); ++ti) {
+            MsgTypeId f = static_cast<MsgTypeId>(ti);
+            if (out_.msgs[f].cls != MsgClass::Forward ||
+                out_.msgs[f].level != Level::Higher) {
+                continue;
+            }
+            if (!cacheH_.hasTransition(ch, EventKey::mkMsg(f)))
+                continue;
+            buildUpperFwd(ch, dl, f);
+        }
+
+        // (C) dir/cache (shared cache) evictions, Section V-B-3.
+        if (opts_.dirCacheEvictions && ch != cacheH_.initial() &&
+            cacheH_.hasTransition(ch, EventKey::mkAccess(Access::Evict)))
+        {
+            buildEviction(ch, dl);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // (A) Lower requests.
+    // ---------------------------------------------------------------
+
+    void
+    buildLowerRequest(StateId ch, StateId dl, MsgTypeId r)
+    {
+        Access a = out_.infoL.requestAccess.count(r)
+                       ? out_.infoL.requestAccess.at(r)
+                       : Access::Evict;
+        const State &hs = cacheH_.state(ch);
+
+        if (a == Access::Evict) {
+            // Evictions are always satisfiable locally.
+            inlineDirLocal(ch, dl, r, ch);
+            return;
+        }
+
+        Perm nominal = out_.infoL.requestPerm.at(r);
+        Perm greatest = out_.infoL.requestMaxPerm.at(r);
+        Perm needed = opts_.conservativeCompat ? greatest : nominal;
+
+        if (permCovers(effPerm(hs), needed)) {
+            // Local: the cache-H part already holds enough permission.
+            StateId ch_final = ch;
+            if (greatest == Perm::ReadWrite && hs.silentUpgrade)
+                ch_final = upgradeTarget(ch);
+            inlineDirLocal(ch, dl, r, ch_final);
+        } else {
+            Access a_h = needed == Perm::ReadWrite ? Access::Store
+                                                   : Access::Load;
+            buildEncapsulated(ch, dl, r, a_h);
+        }
+    }
+
+    /**
+     * Copy the dir-L chain for (dl, r) into the composed machine with
+     * the cache-H half pinned. @p ch_final is the cache-H state after
+     * any grant-time silent upgrade.
+     */
+    void
+    inlineDirLocal(StateId ch, StateId dl, MsgTypeId r, StateId ch_final)
+    {
+        StateId from = ensureStable(ch, dl);
+        const auto *alts = dirL_.transitionsFor(dl, EventKey::mkMsg(r));
+        HG_ASSERT(alts, "inlineDirLocal without handler");
+        for (const auto &alt : *alts) {
+            if (alt.kind != TransKind::Execute)
+                continue;
+            Transition nt;
+            nt.guard = alt.guard;
+            nt.guard2 = alt.guard2;
+            bool lim = grantLimited(r, ch_final, alt);
+            nt.ops = maybeLimitGrant(alt, r, ch_final, false);
+            nt.next = lim && limitedGrantAlt(r)
+                          ? ensureStable(ch_final,
+                                         limitedGrantAlt(r)->next)
+                          : localNext(ch, ch_final, alt.next, r);
+            dc_.addTransition(from, EventKey::mkMsg(r), std::move(nt));
+        }
+    }
+
+    StateId
+    localNext(StateId ch, StateId ch_final, StateId dl_next,
+              MsgTypeId r)
+    {
+        if (dl_next == kNoState)
+            return kNoState;
+        if (dirL_.state(dl_next).stable)
+            return ensureStable(ch_final, dl_next);
+        // dir-L transient (e.g. awaiting a lower writeback): copy it.
+        std::string name = cacheH_.state(ch).name + "." +
+                           dirL_.state(dl_next).name;
+        StateId id = newTransient(
+            name, ensureStable(ch, dirLStart(dl_next)), kNoMsgType,
+            Access::Load, 0, /*has_chain=*/false, dirLStart(dl_next));
+        if (copied_.insert(id).second) {
+            for (const auto &[key, dalts] : dirL_.table()) {
+                if (key.first != dl_next)
+                    continue;
+                for (const auto &dalt : dalts) {
+                    if (dalt.kind != TransKind::Execute)
+                        continue;
+                    Transition nt;
+                    nt.guard = dalt.guard;
+                    nt.guard2 = dalt.guard2;
+                    nt.ops = dalt.ops;
+                    nt.next = localNext(ch, ch_final, dalt.next, r);
+                    dc_.addTransition(id, key.second, std::move(nt));
+                }
+            }
+        }
+        return id;
+    }
+
+    /** Start stable state of a dir-L transient, mapped composed. */
+    StateId
+    dirLStart(StateId dl_t) const
+    {
+        StateId s = dirL_.state(dl_t).startStable;
+        return s == kNoState ? dirL_.initial() : s;
+    }
+
+    std::set<StateId> copied_;
+
+    // --- Section V-D grant limiting (optimized solution). ---
+
+    bool
+    grantLimited(MsgTypeId r, StateId ch_ctx,
+                 const Transition &alt) const
+    {
+        if (opts_.conservativeCompat)
+            return false;
+        auto ra = out_.infoL.requestAccess.find(r);
+        if (ra == out_.infoL.requestAccess.end())
+            return false;
+        // Limit only when *this* alternative's grant confers more
+        // permission than the cache-H context can cover.
+        Perm granted = altGrantPerm(alt, ra->second);
+        return granted != Perm::None &&
+               !permCovers(effPerm(cacheH_.state(ch_ctx)), granted);
+    }
+
+    /** The dir-L alternative granting only the nominal permission:
+     *  found at a state where other copies already exist. */
+    const Transition *
+    limitedGrantAlt(MsgTypeId r) const
+    {
+        Access a = out_.infoL.requestAccess.at(r);
+        for (StateId d = 0;
+             d < static_cast<StateId>(dirL_.numStates()); ++d) {
+            if (!dirL_.state(d).stable)
+                continue;
+            const auto *alts =
+                dirL_.transitionsFor(d, EventKey::mkMsg(r));
+            if (!alts)
+                continue;
+            for (const auto &alt : *alts) {
+                if (altGrantPerm(alt, a) == Perm::Read &&
+                    alt.next != kNoState &&
+                    dirL_.state(alt.next).stable &&
+                    alt.ops.size() <= 2) {
+                    return &alt;
+                }
+            }
+        }
+        return nullptr;
+    }
+
+    Perm
+    altGrantPerm(const Transition &alt, Access a) const
+    {
+        Perm p = Perm::None;
+        for (const Op &op : alt.ops) {
+            if (op.code != OpCode::Send)
+                continue;
+            auto it = respPermL_.find({a, op.send.type});
+            if (it != respPermL_.end() && permCovers(it->second, p))
+                p = it->second;
+        }
+        return p;
+    }
+
+    OpList
+    maybeLimitGrant(const Transition &alt, MsgTypeId r, StateId ch_ctx,
+                    bool encapsulated)
+    {
+        if (!grantLimited(r, ch_ctx, alt))
+            return encapsulated ? adaptEncap(alt.ops) : alt.ops;
+        const Transition *lim = limitedGrantAlt(r);
+        if (!lim) {
+            warn("no limited grant available for ",
+                 out_.msgs.displayName(r), "; using conservative ops");
+            return encapsulated ? adaptEncap(alt.ops) : alt.ops;
+        }
+        return encapsulated ? adaptEncap(lim->ops) : lim->ops;
+    }
+
+    StateId
+    limitedDlNext(MsgTypeId r) const
+    {
+        const Transition *lim = limitedGrantAlt(r);
+        HG_ASSERT(lim, "limitedDlNext without limited grant");
+        return lim->next;
+    }
+
+    /** Map a dir-L guard for evaluation during an encapsulated run,
+     *  where the requestor lives in TBE.savedLower. */
+    static Guard
+    mapGuardEncap(Guard g)
+    {
+        switch (g) {
+          case Guard::None:
+          case Guard::SharersEmpty:
+          case Guard::SharersNotEmpty:
+            return g;
+          case Guard::ReqIsOwner:
+            return Guard::SavedLowerIsOwner;
+          case Guard::ReqNotOwner:
+            return Guard::SavedLowerNotOwner;
+          default:
+            HG_PANIC("unsupported dir-L guard in encapsulated grant: ",
+                     toString(g));
+        }
+    }
+
+    /** Rewrite requestor-relative dir-L ops for encapsulated grants:
+     *  the triggering message is now a higher-level response, and the
+     *  true requestor sits in TBE.savedLower. */
+    static OpList
+    adaptEncap(const OpList &ops)
+    {
+        OpList out;
+        for (Op op : ops) {
+            switch (op.code) {
+              case OpCode::SaveMsgSrc:
+                continue;  // requestor already saved at entry
+              case OpCode::AddReqToSharers:
+              case OpCode::AddSavedToSharers:
+                op.code = OpCode::AddSavedLowerToSharers;
+                break;
+              case OpCode::SetOwnerToReq:
+              case OpCode::SetOwnerToSaved:
+                op.code = OpCode::SetOwnerToSavedLower;
+                break;
+              case OpCode::RemoveReqFromSharers:
+                HG_PANIC("eviction op in encapsulated grant");
+              case OpCode::Send:
+                if (op.send.dst == Dst::MsgSrc)
+                    op.send.dst = Dst::SavedLower;
+                if (op.send.reqField == ReqField::MsgSrc ||
+                    (op.send.reqField == ReqField::None &&
+                     (op.send.dst == Dst::SavedLower ||
+                      op.send.acks == AckPayload::SharersExclReq))) {
+                    op.send.reqField = ReqField::SavedLower;
+                }
+                break;
+              default:
+                break;
+            }
+            out.push_back(op);
+        }
+        return out;
+    }
+
+    // ---------------------------------------------------------------
+    // Encapsulation of a lower request in a higher transaction (Fig 5).
+    // ---------------------------------------------------------------
+
+    void
+    buildEncapsulated(StateId ch, StateId dl, MsgTypeId r, Access a_h)
+    {
+        StateId from = ensureStable(ch, dl);
+        const auto *halts =
+            cacheH_.transitionsFor(ch, EventKey::mkAccess(a_h));
+        HG_ASSERT(halts && halts->size() == 1,
+                  "cache-H access handler must be a single alternative");
+        const Transition &h = halts->front();
+        HG_ASSERT(h.next != kNoState && !cacheH_.state(h.next).stable,
+                  "encapsulation requires a cache-H miss chain");
+
+        Transition entry;
+        entry.ops.push_back(Op::mk(OpCode::SaveLowerReq));
+        for (const Op &op : h.ops) {
+            if (op.code != OpCode::DoLoad && op.code != OpCode::DoStore)
+                entry.ops.push_back(op);
+        }
+        entry.next = encapState(ch, h.next, dl, r);
+        dc_.addTransition(from, EventKey::mkMsg(r), std::move(entry));
+    }
+
+    /** Composed copy of cache-H transient @p ch_t with the lower
+     *  request @p r pending at dir-L state @p dl. */
+    StateId
+    encapState(StateId ch_start, StateId ch_t, StateId dl, MsgTypeId r)
+    {
+        std::string name = cacheH_.state(ch_t).name + "." +
+                           dirL_.state(dl).name + "+" +
+                           out_.msgs[r].name;
+        StateId id = newTransient(
+            name, ensureStable(ch_start, dl), r,
+            out_.infoL.requestAccess.at(r),
+            cacheH_.state(ch_t).chainPhase, /*has_chain=*/true, dl);
+        if (!copied_.insert(id).second)
+            return id;
+
+        for (const auto &[key, alts] : cacheH_.table()) {
+            if (key.first != ch_t)
+                continue;
+            for (const auto &alt : alts) {
+                if (alt.kind != TransKind::Execute)
+                    continue;
+                Transition nt;
+                nt.guard = alt.guard;
+                nt.guard2 = alt.guard2;
+                if (alt.next != kNoState &&
+                    cacheH_.state(alt.next).stable) {
+                    // Commit: strip the access commit, resume the
+                    // dir-L grant for the saved lower requestor. Each
+                    // guarded dir-L alternative becomes its own
+                    // composed alternative (guard2 carries it).
+                    OpList h_ops;
+                    for (const Op &op : alt.ops) {
+                        if (op.code != OpCode::DoLoad &&
+                            op.code != OpCode::DoStore) {
+                            h_ops.push_back(op);
+                        }
+                    }
+                    StateId ch_end = alt.next;
+                    const auto *lalts =
+                        dirL_.transitionsFor(dl, EventKey::mkMsg(r));
+                    HG_ASSERT(lalts && !lalts->empty(),
+                              "encapsulated dir-L grant missing");
+                    for (const Transition &grant : *lalts) {
+                        if (grant.kind != TransKind::Execute)
+                            continue;
+                        HG_ASSERT(grant.next == kNoState ||
+                                      dirL_.state(grant.next).stable,
+                                  "encapsulated dir-L grant must not "
+                                  "await");
+                        Transition ct;
+                        ct.guard = alt.guard;
+                        ct.guard2 = alt.guard2;
+                        ct.guard2 = mapGuardEncap(grant.guard);
+                        ct.ops = h_ops;
+
+                        bool limited = grantLimited(r, ch_end, grant);
+                        StateId ch_final = ch_end;
+                        Perm greatest =
+                            out_.infoL.requestMaxPerm.at(r);
+                        if (!limited &&
+                            greatest == Perm::ReadWrite &&
+                            cacheH_.state(ch_end).silentUpgrade) {
+                            ch_final = upgradeTarget(ch_end);
+                        }
+                        OpList grant_ops =
+                            maybeLimitGrant(grant, r, ch_end, true);
+                        ct.ops.insert(ct.ops.end(), grant_ops.begin(),
+                                      grant_ops.end());
+                        StateId dl_next =
+                            limited
+                                ? limitedDlNext(r)
+                                : (grant.next == kNoState
+                                       ? dl
+                                       : grant.next);
+                        ct.next = ensureStable(ch_final, dl_next);
+                        dc_.addTransition(id, key.second,
+                                          std::move(ct));
+                    }
+                    continue;
+                } else {
+                    nt.ops = alt.ops;
+                    nt.next = alt.next == kNoState
+                                  ? id
+                                  : encapState(ch_start, alt.next, dl,
+                                               r);
+                }
+                dc_.addTransition(id, key.second, std::move(nt));
+            }
+        }
+        return id;
+    }
+
+    // ---------------------------------------------------------------
+    // (B) Higher-level forwards (Fig 6) and the proxy-cache.
+    // ---------------------------------------------------------------
+
+    void
+    buildUpperFwd(StateId ch, StateId dl, MsgTypeId f)
+    {
+        StateId from = ensureStable(ch, dl);
+        const auto *halts = cacheH_.transitionsFor(ch, EventKey::mkMsg(f));
+        HG_ASSERT(halts && halts->size() == 1,
+                  "cache-H forward handler must be single");
+        const Transition &h = halts->front();
+        HG_ASSERT(h.next == kNoState || cacheH_.state(h.next).stable,
+                  "cache-H forward handlers are synchronous");
+        StateId ch_next = h.next == kNoState ? ch : h.next;
+
+        Access a_h = out_.infoH.fwdAccess.at(f);
+        bool direct;
+        if (a_h == Access::Store) {
+            direct = dl == dirL_.initial();
+        } else {
+            direct = !dirStateOwned(dl);
+        }
+
+        if (direct) {
+            Transition nt;
+            nt.ops = h.ops;
+            nt.next = ensureStable(ch_next, dl);
+            dc_.addTransition(from, EventKey::mkMsg(f), std::move(nt));
+            return;
+        }
+
+        buildProxy(from, EventKey::mkMsg(f), ch, dl, a_h,
+                   adaptDeferredUpper(h.ops), ch_next,
+                   /*evicting=*/false,
+                   "F" + out_.msgs[f].name);
+    }
+
+    /** Rewrite cache-H handler ops to run at proxy completion: the
+     *  current message is no longer the forward. */
+    static OpList
+    adaptDeferredUpper(const OpList &ops)
+    {
+        OpList out;
+        for (Op op : ops) {
+            if (op.code == OpCode::Send) {
+                if (op.send.dst == Dst::MsgReq)
+                    op.send.dst = Dst::Saved;
+                if (op.send.reqField == ReqField::MsgReq)
+                    op.send.reqField = ReqField::Saved;
+                if (op.send.acks == AckPayload::FromMsg)
+                    op.send.acks = AckPayload::SavedCount;
+            }
+            out.push_back(op);
+        }
+        return out;
+    }
+
+    /**
+     * Generate the virtual proxy-cache transaction: run the dir-L
+     * handler for the request a lower cache would issue for @p a_h,
+     * await the lower level's responses, then run @p completion_ops
+     * and land in (ch_next, dl_final).
+     *
+     * When @p evicting, completion instead enters the cache-H eviction
+     * chain (dir/cache eviction, Section V-B-3).
+     */
+    void
+    buildProxy(StateId from, EventKey ev, StateId ch, StateId dl,
+               Access a_h, OpList completion_ops, StateId ch_next,
+               bool evicting, const std::string &tag)
+    {
+        const CacheAccessPath *path = out_.infoL.pathFromInvalid(a_h);
+        HG_ASSERT(path && path->request != kNoMsgType,
+                  "no proxy request for access");
+        MsgTypeId rv = path->request;
+
+        const auto *lalts = dirL_.transitionsFor(dl, EventKey::mkMsg(rv));
+        HG_ASSERT(lalts, "dir-L lacks proxy handler");
+        const Transition *alt = nullptr;
+        for (const auto &cand : *lalts) {
+            if (cand.guard == Guard::None ||
+                cand.guard == Guard::ReqNotOwner ||
+                cand.guard == Guard::NotFromOwner) {
+                alt = &cand;
+                break;
+            }
+        }
+        HG_ASSERT(alt, "no proxy-eligible dir-L alternative");
+
+        // Walk the (linear) dir-L chain: entry segment + optional
+        // awaited segment whose bookkeeping runs at completion.
+        OpList entry_raw = alt->ops;
+        OpList late_raw;
+        StateId dl_after = alt->next;
+        if (dl_after != kNoState && !dirL_.state(dl_after).stable) {
+            // Single awaited segment (e.g. WBData at a MESI dir-L).
+            StateId t = dl_after;
+            const Machine &dm = dirL_;
+            StateId next_stable = kNoState;
+            for (const auto &[key, dalts] : dm.table()) {
+                if (key.first != t)
+                    continue;
+                for (const auto &dalt : dalts) {
+                    if (dalt.kind != TransKind::Execute)
+                        continue;
+                    HG_ASSERT(dalt.next != kNoState &&
+                                  dm.state(dalt.next).stable,
+                              "proxy dir-L chain deeper than one await");
+                    late_raw.insert(late_raw.end(), dalt.ops.begin(),
+                                    dalt.ops.end());
+                    next_stable = dalt.next;
+                }
+            }
+            dl_after = next_stable;
+        }
+        HG_ASSERT(dl_after != kNoState, "proxy chain lost its tail");
+
+        // Final dir-L state: when the proxy request confers write
+        // permission (it may do so even for a read access, e.g. MI's
+        // single GetM), the proxy becomes the sole owner and its
+        // virtual eviction empties the level.
+        bool write_proxy =
+            out_.infoL.requestPerm.at(rv) == Perm::ReadWrite;
+        StateId dl_final = dl_after;
+        if (write_proxy)
+            dl_final = netAfterOwnerEvict(dl_after);
+
+        // Adapt the entry ops.
+        bool owner_fwd = false;
+        MsgTypeId fwd_sent = kNoMsgType;
+        for (const Op &op : entry_raw) {
+            if (op.code == OpCode::Send && op.send.dst == Dst::Owner) {
+                owner_fwd = true;
+                fwd_sent = op.send.type;
+            }
+        }
+
+        Transition entry;
+        entry.guard = Guard::None;
+        if (ev.kind == EventKey::Kind::Msg) {
+            entry.ops.push_back(Op::mk(OpCode::SaveMsgReq));
+            if (out_.msgs[ev.type].carriesAcks)
+                entry.ops.push_back(Op::mk(OpCode::SaveMsgAckCount));
+        }
+        bool needs_acks = false;
+        for (Op op : entry_raw) {
+            switch (op.code) {
+              case OpCode::SaveMsgSrc:
+              case OpCode::AddReqToSharers:
+              case OpCode::SetOwnerToReq:
+                continue;  // proxy bookkeeping is virtual
+              case OpCode::Send:
+                if (out_.msgs[op.send.type].cls ==
+                    MsgClass::Response) {
+                    // Grant to the proxy itself: drop; its ack count
+                    // becomes our expectation when no owner forward
+                    // will carry it.
+                    if (op.send.acks != AckPayload::None &&
+                        !owner_fwd) {
+                        entry.ops.push_back(Op::mk(
+                            OpCode::AddAcksFromSharersAll));
+                        needs_acks = true;
+                    }
+                    continue;
+                }
+                // Forwards to the lower level: acks route back to us.
+                op.send.reqField = ReqField::Self;
+                entry.ops.push_back(op);
+                continue;
+              default:
+                entry.ops.push_back(op);
+                continue;
+            }
+        }
+
+        // Expected lower responses.
+        std::set<std::pair<MsgTypeId, bool>> expected;
+        if (owner_fwd)
+            expected = ownerResponses(fwd_sent);
+        bool count_in_resp = false;
+        for (const auto &[t, d] : expected)
+            count_in_resp = count_in_resp || out_.msgs[t].carriesAcks;
+        needs_acks = needs_acks || count_in_resp;
+
+        // Completion ops: late dir-L bookkeeping + the caller's ops.
+        OpList completion;
+        for (Op op : late_raw) {
+            switch (op.code) {
+              case OpCode::CopyDataFromMsg:  // proxy await copies
+              case OpCode::AddSavedToSharers:
+              case OpCode::AddReqToSharers:
+              case OpCode::SetOwnerToReq:
+              case OpCode::SetOwnerToSaved:
+                continue;
+              default:
+                completion.push_back(op);
+            }
+        }
+        if (write_proxy) {
+            // The virtual eviction clears the lower-level bookkeeping.
+            completion.push_back(Op::mk(OpCode::ClearOwner));
+            completion.push_back(Op::mk(OpCode::ClearSharers));
+        }
+        completion.insert(completion.end(), completion_ops.begin(),
+                          completion_ops.end());
+
+        StateId final_state =
+            evicting ? kNoState : ensureStable(ch_next, dl_final);
+
+        buildProxyAwait(from, ev, std::move(entry), expected, needs_acks,
+                        std::move(completion), final_state, ch, dl,
+                        ch_next, dl_final, evicting, tag);
+    }
+
+    /**
+     * Emit the await structure of a proxy transaction: all expected
+     * response types must arrive (copying data), plus the InvAck
+     * count must drain. Subset states are enumerated (|expected|<=2).
+     */
+    void
+    buildProxyAwait(StateId from, EventKey ev, Transition entry,
+                    const std::set<std::pair<MsgTypeId, bool>> &expected,
+                    bool needs_acks, OpList completion,
+                    StateId final_state, StateId ch, StateId dl,
+                    StateId ch_next, StateId dl_final, bool evicting,
+                    const std::string &tag)
+    {
+        HG_ASSERT(expected.size() <= 2, "proxy await too wide");
+        const std::string base = cacheH_.state(ch).name + "_" +
+                                 dirL_.state(dl).name + "+" + tag;
+
+        MsgTypeId inv_ack = lowerInvAckType();
+        // Protocols without sharer invalidations (MI) carry ack counts
+        // that are always zero; no drain machinery is needed.
+        if (inv_ack == kNoMsgType)
+            needs_acks = false;
+
+        // Resolve what completion jumps to (possibly the cache-H
+        // eviction chain).
+        auto completionTarget = [&](OpList &ops) -> StateId {
+            if (!evicting)
+                return final_state;
+            const auto *ealts = cacheH_.transitionsFor(
+                ch_next, EventKey::mkAccess(Access::Evict));
+            HG_ASSERT(ealts && ealts->size() == 1,
+                      "cache-H eviction handler must be single");
+            const Transition &eh = ealts->front();
+            for (const Op &op : eh.ops)
+                ops.push_back(op);
+            return evictState(eh.next, dl_final);
+        };
+
+        // States: one per subset of still-pending responses, plus an
+        // ack-drain tail.
+        std::vector<std::pair<MsgTypeId, bool>> exp(expected.begin(),
+                                                    expected.end());
+
+        // Ack-drain state (entered when all responses arrived but the
+        // count is unresolved).
+        StateId drain = kNoState;
+        if (needs_acks) {
+            drain = newTransient(base + ".acks", from, kNoMsgType,
+                                 Access::Store, 9,
+                                 /*has_chain=*/false, dl);
+            Transition last;
+            last.guard = Guard::IsLastAck;
+            last.ops = {Op::mk(OpCode::DecAck)};
+            OpList tail = completion;
+            StateId tgt = kNoState;
+            {
+                OpList ops2 = last.ops;
+                ops2.insert(ops2.end(), tail.begin(), tail.end());
+                last.ops = std::move(ops2);
+                tgt = completionTarget(last.ops);
+            }
+            last.next = tgt;
+            dc_.addTransition(drain, EventKey::mkMsg(inv_ack),
+                              std::move(last));
+            Transition more;
+            more.guard = Guard::NotLastAck;
+            more.ops = {Op::mk(OpCode::DecAck)};
+            more.next = drain;
+            dc_.addTransition(drain, EventKey::mkMsg(inv_ack),
+                              std::move(more));
+        }
+
+        // Subset states keyed by bitmask of received responses.
+        std::map<unsigned, StateId> subset;
+        unsigned full = (1u << exp.size()) - 1;
+        for (unsigned mask = 0; mask < full || (mask == 0 && full == 0);
+             ++mask) {
+            std::string name = base + ".w" + std::to_string(mask);
+            subset[mask] = newTransient(name, from, kNoMsgType,
+                                        Access::Store,
+                                        static_cast<int>(mask),
+                                        /*has_chain=*/false, dl);
+            if (full == 0)
+                break;
+        }
+
+        for (auto &[mask, sid] : subset) {
+            // Early InvAcks.
+            if (needs_acks) {
+                Transition loop;
+                loop.ops = {Op::mk(OpCode::DecAck)};
+                loop.next = sid;
+                dc_.addTransition(sid, EventKey::mkMsg(inv_ack),
+                                  std::move(loop));
+            }
+            for (size_t i = 0; i < exp.size(); ++i) {
+                if (mask & (1u << i))
+                    continue;
+                unsigned nmask = mask | (1u << i);
+                bool is_last = nmask == full;
+                auto [mt, carries_data] = exp[i];
+                OpList arr;
+                if (carries_data)
+                    arr.push_back(Op::mk(OpCode::CopyDataFromMsg));
+                if (out_.msgs[mt].carriesAcks)
+                    arr.push_back(Op::mk(OpCode::SetAcksFromMsg));
+
+                if (!is_last) {
+                    Transition step;
+                    step.ops = arr;
+                    step.next = subset[nmask];
+                    dc_.addTransition(sid, EventKey::mkMsg(mt),
+                                      std::move(step));
+                    continue;
+                }
+                if (needs_acks) {
+                    Transition done;
+                    done.guard = Guard::AcksZero;
+                    done.ops = arr;
+                    done.ops.insert(done.ops.end(), completion.begin(),
+                                    completion.end());
+                    done.next = completionTarget(done.ops);
+                    dc_.addTransition(sid, EventKey::mkMsg(mt), done);
+                    Transition wait;
+                    wait.guard = Guard::AcksPending;
+                    wait.ops = arr;
+                    wait.next = drain;
+                    dc_.addTransition(sid, EventKey::mkMsg(mt),
+                                      std::move(wait));
+                } else {
+                    Transition done;
+                    done.ops = arr;
+                    done.ops.insert(done.ops.end(), completion.begin(),
+                                    completion.end());
+                    done.next = completionTarget(done.ops);
+                    dc_.addTransition(sid, EventKey::mkMsg(mt),
+                                      std::move(done));
+                }
+            }
+        }
+
+        // Wire the entry.
+        if (full == 0) {
+            HG_ASSERT(needs_acks, "proxy with nothing to wait for");
+            entry.next = drain;
+        } else {
+            entry.next = subset[0];
+        }
+        dc_.addTransition(from, ev, std::move(entry));
+    }
+
+    /** The lower level's invalidation-ack response type. */
+    MsgTypeId
+    lowerInvAckType() const
+    {
+        // The response a cache-L sends when invalidated: taken from
+        // its (sharer-state, invalidating-forward) handler.
+        const Machine &cl = out_.cacheL;
+        for (size_t ti = 0; ti < out_.msgs.size(); ++ti) {
+            MsgTypeId f = static_cast<MsgTypeId>(ti);
+            if (out_.msgs[f].cls != MsgClass::Forward ||
+                out_.msgs[f].level != Level::Lower ||
+                !out_.msgs[f].invalidating) {
+                continue;
+            }
+            for (StateId s = 0;
+                 s < static_cast<StateId>(cl.numStates()); ++s) {
+                if (!cl.state(s).stable || cl.state(s).owner)
+                    continue;
+                const auto *alts =
+                    cl.transitionsFor(s, EventKey::mkMsg(f));
+                if (!alts)
+                    continue;
+                for (const auto &t : *alts) {
+                    for (const Op &op : t.ops) {
+                        if (op.code == OpCode::Send &&
+                            !out_.msgs[op.send.type].carriesData) {
+                            return op.send.type;
+                        }
+                    }
+                }
+            }
+        }
+        // Protocols without sharer invalidations (MI) never collect.
+        return kNoMsgType;
+    }
+
+    /** dir-L state after the proxy's virtual owner eviction. */
+    StateId
+    netAfterOwnerEvict(StateId dl_m)
+    {
+        for (MsgTypeId pe : out_.infoL.ownerEvictions) {
+            const auto *alts =
+                dirL_.transitionsFor(dl_m, EventKey::mkMsg(pe));
+            if (!alts)
+                continue;
+            for (const auto &alt : *alts) {
+                if (alt.guard == Guard::None ||
+                    alt.guard == Guard::SharersEmpty ||
+                    alt.guard == Guard::FromOwner) {
+                    HG_ASSERT(alt.next != kNoState &&
+                                  dirL_.state(alt.next).stable,
+                              "owner eviction must be synchronous");
+                    return alt.next;
+                }
+            }
+        }
+        HG_PANIC("no owner-eviction handler at dir-L state ",
+                 dirL_.state(dl_m).name);
+    }
+
+    // ---------------------------------------------------------------
+    // (C) dir/cache evictions.
+    // ---------------------------------------------------------------
+
+    void
+    buildEviction(StateId ch, StateId dl)
+    {
+        StateId from = ensureStable(ch, dl);
+        EventKey ev = EventKey::mkAccess(Access::Evict);
+        if (dl == dirL_.initial()) {
+            const auto *ealts = cacheH_.transitionsFor(ch, ev);
+            const Transition &eh = ealts->front();
+            Transition nt;
+            nt.ops = eh.ops;
+            nt.next = evictState(eh.next, dl);
+            dc_.addTransition(from, ev, std::move(nt));
+            return;
+        }
+        // Pull the block out of the lower level first (proxy GetM-L),
+        // then evict at the higher level.
+        buildProxy(from, ev, ch, dl, Access::Store, OpList{}, ch,
+                   /*evicting=*/true, "Evict");
+    }
+
+    /** Composed copy of the cache-H eviction chain. */
+    StateId
+    evictState(StateId ch_t, StateId dl)
+    {
+        HG_ASSERT(ch_t != kNoState && !cacheH_.state(ch_t).stable,
+                  "eviction chain expected");
+        std::string name = cacheH_.state(ch_t).name + "." +
+                           dirL_.state(dl).name;
+        StateId ch_start = cacheH_.state(ch_t).startStable;
+        if (ch_start == kNoState)
+            ch_start = cacheH_.initial();
+        StateId id = newTransient(name, ensureStable(ch_start, dl),
+                                  kNoMsgType, Access::Evict,
+                                  cacheH_.state(ch_t).chainPhase,
+                                  /*has_chain=*/true, dl);
+        if (!copied_.insert(id).second)
+            return id;
+        for (const auto &[key, alts] : cacheH_.table()) {
+            if (key.first != ch_t)
+                continue;
+            for (const auto &alt : alts) {
+                if (alt.kind != TransKind::Execute)
+                    continue;
+                Transition nt;
+                nt.guard = alt.guard;
+                nt.guard2 = alt.guard2;
+                nt.ops = alt.ops;
+                if (alt.next != kNoState &&
+                    cacheH_.state(alt.next).stable) {
+                    nt.next = ensureStable(alt.next, dl);
+                } else {
+                    nt.next = alt.next == kNoState
+                                  ? id
+                                  : evictState(alt.next, dl);
+                }
+                dc_.addTransition(id, key.second, std::move(nt));
+            }
+        }
+        return id;
+    }
+};
+
+} // namespace
+
+HierProtocol
+composeAtomic(const Protocol &lower, const Protocol &higher,
+              const ComposeOptions &opts)
+{
+    return Composer(lower, higher, opts).run();
+}
+
+} // namespace hieragen::core

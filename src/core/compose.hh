@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Step 1: composition of two flat SSPs into an atomic hierarchical
+ * protocol (paper Section V).
+ *
+ * The cache-L, cache-H, and root machines pass through unchanged (only
+ * their message ids are remapped into the merged two-level table). All
+ * of the work is generating the intermediate dir/cache, which fuses
+ * the higher level's cache controller (cache-H), the lower level's
+ * directory (dir-L), and a cloned lower-level cache — the proxy-cache
+ * — used to encapsulate lower-level coherence actions inside
+ * higher-level transactions (Figures 3 and 4):
+ *
+ *  - A lower request that the cache-H part cannot satisfy first runs
+ *    the cache-H chain for the same access type against the root, then
+ *    resumes the dir-L grant (Figure 5, Transaction Flow 1).
+ *  - A higher-level forward whose access conflicts with lower-level
+ *    holders runs a virtual proxy-cache transaction through dir-L
+ *    (invalidating/downgrading the lower level), then answers the
+ *    forward (Figure 6, Transaction Flow 2).
+ *  - A dir/cache eviction first pulls the block out of the lower level
+ *    via the proxy-cache, then evicts at the higher level (V-B-3).
+ *
+ * Compatibility between levels (Section V-D) is handled by detecting
+ * silent permission upgrades: with the conservative solution the
+ * dir/cache requests the *greatest* permission the lower request could
+ * confer; with the optimized solution it requests the nominal
+ * permission and instead limits the grant the lower level hands out.
+ */
+
+#ifndef HIERAGEN_CORE_COMPOSE_HH
+#define HIERAGEN_CORE_COMPOSE_HH
+
+#include "fsm/protocol.hh"
+
+namespace hieragen::core
+{
+
+struct ComposeOptions
+{
+    /**
+     * Section V-D: true = conservative solution (request the greatest
+     * permission a silently-upgradeable grant could confer); false =
+     * optimized solution (request the nominal permission and limit the
+     * lower-level grant on mismatch).
+     */
+    bool conservativeCompat = true;
+
+    /** Generate dir/cache (shared cache) eviction logic (V-B-3). */
+    bool dirCacheEvictions = true;
+};
+
+/**
+ * Compose @p lower and @p higher atomic SSPs into an atomic
+ * hierarchical protocol. Machines in the result use a merged message
+ * table with Level tags.
+ */
+HierProtocol composeAtomic(const Protocol &lower, const Protocol &higher,
+                           const ComposeOptions &opts = {});
+
+} // namespace hieragen::core
+
+#endif // HIERAGEN_CORE_COMPOSE_HH

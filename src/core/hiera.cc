@@ -1,0 +1,584 @@
+#include "core/hiera.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace hieragen::core
+{
+
+namespace
+{
+
+/** Final composed stable states reachable from transient @p t. */
+std::set<StateId>
+chainEnds(const Machine &m, StateId t)
+{
+    std::set<StateId> ends;
+    std::set<StateId> seen;
+    std::vector<StateId> work{t};
+    while (!work.empty()) {
+        StateId s = work.back();
+        work.pop_back();
+        if (!seen.insert(s).second)
+            continue;
+        for (const auto &[key, alts] : m.table()) {
+            if (key.first != s)
+                continue;
+            for (const auto &a : alts) {
+                if (a.kind != TransKind::Execute || a.next == kNoState)
+                    continue;
+                if (m.state(a.next).stable)
+                    ends.insert(a.next);
+                else
+                    work.push_back(a.next);
+            }
+        }
+    }
+    return ends;
+}
+
+/** Rewrite a cache-H handler's ops to run detached from the forward
+ *  message (the deferral/proxy-completion adaptation). */
+OpList
+adaptDetached(const OpList &ops)
+{
+    OpList out;
+    for (Op op : ops) {
+        if (op.code == OpCode::Send) {
+            if (op.send.dst == Dst::MsgReq)
+                op.send.dst = Dst::Saved;
+            if (op.send.reqField == ReqField::MsgReq)
+                op.send.reqField = ReqField::Saved;
+            if (op.send.acks == AckPayload::FromMsg)
+                op.send.acks = AckPayload::SavedCount;
+        }
+        out.push_back(op);
+    }
+    return out;
+}
+
+/**
+ * Race handling for the dir/cache's upper (cache toward root) half:
+ * Past/Future higher-level forwards arriving while an encapsulated
+ * lower transaction or a dir/cache eviction is in flight.
+ */
+class DirCacheUpperPass
+{
+  public:
+    DirCacheUpperPass(HierProtocol &p, ConcurrencyMode mode,
+                      HierGenStats &stats)
+        : p_(p), dc_(p.dirCache), mode_(mode), stats_(stats)
+    {
+        for (size_t ti = 0; ti < p_.msgs.size(); ++ti) {
+            MsgTypeId t = static_cast<MsgTypeId>(ti);
+            if (p_.msgs[t].level != Level::Higher)
+                continue;
+            if (p_.msgs[t].cls == MsgClass::Forward)
+                fwdsH_.push_back(t);
+            if (p_.msgs[t].cls == MsgClass::Response)
+                respsH_.push_back(t);
+        }
+    }
+
+    void
+    run()
+    {
+        std::vector<StateId> snapshot;
+        for (StateId s = 0; s < static_cast<StateId>(dc_.numStates());
+             ++s) {
+            if (!dc_.state(s).stable)
+                snapshot.push_back(s);
+        }
+
+        for (StateId t : snapshot) {
+            const State st = dc_.state(t);
+            if (!st.hasChain) {
+                // Pure dir-L chains and proxy transients: higher-level
+                // forwards wait until the lower-level window closes.
+                stallFwds(t);
+                continue;
+            }
+            handleChainTransient(t, st);
+        }
+
+        // Deferred copies and proxy clones added during the pass also
+        // stall everything they do not handle.
+        for (StateId s = static_cast<StateId>(snapshot.empty()
+                                                  ? 0
+                                                  : 0);
+             s < static_cast<StateId>(dc_.numStates()); ++s) {
+            if (!dc_.state(s).stable && addedStates_.count(s))
+                stallFwds(s);
+        }
+    }
+
+  private:
+    HierProtocol &p_;
+    Machine &dc_;
+    ConcurrencyMode mode_;
+    HierGenStats &stats_;
+    std::vector<MsgTypeId> fwdsH_;
+    std::vector<MsgTypeId> respsH_;
+    std::set<StateId> addedStates_;
+    std::map<std::pair<StateId, StateId>, StateId> proxyClones_;
+    std::map<std::pair<StateId, MsgTypeId>, StateId> deferCopies_;
+
+    const Transition *
+    handlerAt(StateId composed_stable, MsgTypeId f) const
+    {
+        const auto *alts =
+            dc_.transitionsFor(composed_stable, EventKey::mkMsg(f));
+        if (!alts || alts->empty())
+            return nullptr;
+        return &alts->front();
+    }
+
+    void
+    addStall(StateId s, const EventKey &ev)
+    {
+        if (dc_.hasTransition(s, ev))
+            return;
+        Transition st;
+        st.kind = TransKind::Stall;
+        st.next = s;
+        dc_.addTransition(s, ev, std::move(st));
+    }
+
+    void
+    stallFwds(StateId s)
+    {
+        for (MsgTypeId f : fwdsH_)
+            addStall(s, EventKey::mkMsg(f));
+    }
+
+    void
+    stallAllHigher(StateId s)
+    {
+        stallFwds(s);
+        for (MsgTypeId r : respsH_)
+            addStall(s, EventKey::mkMsg(r));
+    }
+
+    /** Find the same-chain transient re-based on a demoted start. */
+    StateId
+    rebase(const State &st, StateId demoted_start) const
+    {
+        for (StateId s = 0; s < static_cast<StateId>(dc_.numStates());
+             ++s) {
+            const State &cand = dc_.state(s);
+            if (!cand.stable && cand.hasChain &&
+                cand.startStable == demoted_start &&
+                cand.chainReqMsg == st.chainReqMsg &&
+                cand.chainAccess == st.chainAccess &&
+                cand.chainPhase == st.chainPhase) {
+                return s;
+            }
+        }
+        return kNoState;
+    }
+
+    /** Drop state for evictions re-based onto a pair with no chain. */
+    StateId
+    makeDropState(StateId t, StateId demoted_start)
+    {
+        std::string name = dc_.state(t).name + "_drop" +
+                           std::to_string(demoted_start);
+        StateId id = dc_.findState(name);
+        if (id != kNoState)
+            return id;
+        State drop;
+        drop.name = name;
+        drop.stable = false;
+        drop.startStable = demoted_start;
+        id = dc_.addState(drop);
+        addedStates_.insert(id);
+        for (const auto &[key, alts] : dc_.table()) {
+            if (key.first != t || key.second.kind != EventKey::Kind::Msg)
+                continue;
+            if (p_.msgs[key.second.type].cls != MsgClass::Response)
+                continue;
+            for (const auto &orig : alts) {
+                if (orig.kind != TransKind::Execute)
+                    continue;
+                Transition done;
+                done.guard = orig.guard;
+                done.guard2 = orig.guard2;
+                done.ops = {Op::mk(OpCode::InvalidateLine)};
+                done.next = demoted_start;
+                dc_.addTransition(id, key.second, std::move(done));
+            }
+        }
+        return id;
+    }
+
+    void
+    handleChainTransient(StateId t, const State &st)
+    {
+        std::set<StateId> ends = chainEnds(dc_, t);
+        for (MsgTypeId f : fwdsH_) {
+            const Transition *h = handlerAt(st.startStable, f);
+            bool end_handles = false;
+            for (StateId e : ends)
+                end_handles = end_handles || handlerAt(e, f);
+
+            if (h) {
+                FwdEpoch key_epoch =
+                    end_handles ? FwdEpoch::Past : FwdEpoch::None;
+                handlePast(t, st, f, *h, key_epoch);
+            }
+            if (end_handles) {
+                FwdEpoch key_epoch =
+                    h ? FwdEpoch::Future : FwdEpoch::None;
+                if (mode_ == ConcurrencyMode::Stalling) {
+                    addStall(t, EventKey::mkMsg(f, key_epoch));
+                    ++stats_.concurrency.futureStallTransitions;
+                } else {
+                    handleFuture(t, st, f, ends, key_epoch);
+                }
+            }
+        }
+    }
+
+    // --- Past-epoch forwards: must handle, possibly via a proxy. ---
+
+    void
+    handlePast(StateId t, const State &st, MsgTypeId f,
+               const Transition &h, FwdEpoch key_epoch)
+    {
+        EventKey ev = EventKey::mkMsg(f, key_epoch);
+        if (dc_.hasTransition(t, ev))
+            return;
+
+        if (h.next == kNoState || dc_.state(h.next).stable) {
+            // Direct handler: demote and re-base the pending chain.
+            StateId demoted =
+                h.next == kNoState ? st.startStable : h.next;
+            StateId target;
+            if (demoted == st.startStable) {
+                target = t;
+            } else {
+                target = rebase(st, demoted);
+                if (target == kNoState &&
+                    st.chainAccess == Access::Evict &&
+                    st.chainReqMsg == kNoMsgType) {
+                    target = makeDropState(t, demoted);
+                }
+            }
+            if (target == kNoState) {
+                warn("dir/cache: cannot re-base ", st.name, " on ",
+                     p_.msgs.displayName(f));
+                return;
+            }
+            Transition race;
+            race.ops = h.ops;
+            race.next = target;
+            dc_.addTransition(t, ev, std::move(race));
+            ++stats_.concurrency.pastRaceTransitions;
+            return;
+        }
+
+        // Proxy handler. In the first phase the TBE is clean and the
+        // full proxy (including ack collection) can run. At later
+        // phases our own transaction owns the ack counter -- but a
+        // Past forward can only still be in flight there when it is a
+        // fire-and-forget read (e.g. MOSI's FwdGetS), whose proxy is
+        // ack-free; the clone drops the ack machinery.
+        bool ack_free = true;
+        for (const Op &op : h.ops) {
+            if (op.code == OpCode::AddAcksFromSharersAll ||
+                op.code == OpCode::AddAcksFromSharersExclReq ||
+                (op.code == OpCode::Send &&
+                 p_.msgs[op.send.type].cls == MsgClass::Forward &&
+                 (op.send.dst == Dst::SharersAll ||
+                  op.send.dst == Dst::SharersExclReq))) {
+                ack_free = false;
+            }
+        }
+        if (st.chainPhase != 0 && !ack_free)
+            return;  // unreachable: write-level Past implies phase 0
+        bool strip = st.chainPhase != 0;
+        Transition race;
+        if (!strip) {
+            // The pending transaction may already have early InvAcks
+            // counted; the proxy window runs its own count.
+            race.ops.push_back(Op::mk(OpCode::StashAcks));
+        }
+        for (const Op &op : h.ops)
+            race.ops.push_back(op);  // proxy entry; current msg *is* f
+        race.next = cloneProxy(h.next, t, st, strip);
+        if (race.next == kNoState)
+            return;
+        dc_.addTransition(t, ev, std::move(race));
+        ++stats_.concurrency.pastRaceTransitions;
+    }
+
+    /**
+     * Clone the proxy chain rooted at @p proxy_state, redirecting its
+     * completions (entries into composed stable states) onto the
+     * re-based pending chain of @p t.
+     */
+    StateId
+    cloneProxy(StateId proxy_state, StateId t, const State &st,
+               bool strip_acks)
+    {
+        auto key = std::make_pair(proxy_state, t);
+        auto it = proxyClones_.find(key);
+        if (it != proxyClones_.end())
+            return it->second;
+
+        State cs = dc_.state(proxy_state);
+        cs.name += "@" + st.name;
+        cs.hasChain = false;
+        StateId id = dc_.addState(cs);
+        addedStates_.insert(id);
+        proxyClones_[key] = id;
+
+        std::vector<std::pair<EventKey, std::vector<Transition>>> rows;
+        for (const auto &[k, alts] : dc_.table()) {
+            if (k.first == proxy_state)
+                rows.push_back({k.second, alts});
+        }
+        for (const auto &[ev, alts] : rows) {
+            for (const Transition &orig : alts) {
+                if (orig.kind != TransKind::Execute)
+                    continue;
+                Transition nt;
+                nt.guard = orig.guard;
+                nt.guard2 = orig.guard2;
+                nt.ops = orig.ops;
+                if (strip_acks) {
+                    // The pending transaction owns the ack counter;
+                    // this clone is ack-free by construction.
+                    if (nt.guard == Guard::AcksPending)
+                        continue;  // drop the drain path
+                    if (nt.guard == Guard::AcksZero)
+                        nt.guard = Guard::None;
+                    if (nt.guard == Guard::IsLastAck ||
+                        nt.guard == Guard::NotLastAck) {
+                        continue;
+                    }
+                    OpList kept;
+                    for (const Op &op : nt.ops) {
+                        if (op.code == OpCode::SetAcksFromMsg ||
+                            op.code == OpCode::DecAck) {
+                            continue;
+                        }
+                        kept.push_back(op);
+                    }
+                    nt.ops = std::move(kept);
+                }
+                if (orig.next != kNoState &&
+                    dc_.state(orig.next).stable) {
+                    StateId target = rebase(st, orig.next);
+                    if (target == kNoState) {
+                        warn("dir/cache proxy clone: no re-base of ",
+                             st.name, " at ",
+                             dc_.state(orig.next).name);
+                        continue;
+                    }
+                    if (!strip_acks) {
+                        nt.ops.push_back(
+                            Op::mk(OpCode::RestoreAcks));
+                    }
+                    nt.next = target;
+                } else {
+                    nt.next = orig.next == kNoState
+                                  ? id
+                                  : cloneProxy(orig.next, t, st,
+                                               strip_acks);
+                }
+                dc_.addTransition(id, ev, std::move(nt));
+            }
+        }
+        // Higher-level traffic (including our own pending response)
+        // waits until the proxy window closes.
+        stallAllHigher(id);
+        ++stats_.dirCacheRaceStates;
+        return id;
+    }
+
+    // --- Future-epoch forwards: defer to chain completion. ---
+
+    void
+    handleFuture(StateId t, const State &st, MsgTypeId f,
+                 const std::set<StateId> &ends, FwdEpoch key_epoch)
+    {
+        EventKey ev = EventKey::mkMsg(f, key_epoch);
+        if (dc_.hasTransition(t, ev))
+            return;
+        StateId copy = deferCopy(t, st, f, ends);
+        if (copy == kNoState) {
+            addStall(t, ev);
+            ++stats_.concurrency.futureStallTransitions;
+            return;
+        }
+        Transition defer;
+        defer.ops.push_back(Op::mk(OpCode::SaveMsgReq));
+        if (p_.msgs[f].carriesAcks)
+            defer.ops.push_back(Op::mk(OpCode::SaveMsgAckCount));
+        defer.next = copy;
+        dc_.addTransition(t, ev, std::move(defer));
+    }
+
+    StateId
+    deferCopy(StateId t, const State &st, MsgTypeId f,
+              const std::set<StateId> &ends)
+    {
+        auto key = std::make_pair(t, f);
+        auto it = deferCopies_.find(key);
+        if (it != deferCopies_.end())
+            return it->second;
+
+        State cs = dc_.state(t);
+        cs.name += "_df_" + p_.msgs[f].name;
+        cs.hasChain = false;
+        cs.deferredFwd = f;
+        StateId id = dc_.addState(cs);
+        addedStates_.insert(id);
+        deferCopies_[key] = id;
+        ++stats_.concurrency.futureDeferStates;
+
+        std::vector<std::pair<EventKey, std::vector<Transition>>> rows;
+        for (const auto &[k, alts] : dc_.table()) {
+            if (k.first == t)
+                rows.push_back({k.second, alts});
+        }
+        for (const auto &[ev, alts] : rows) {
+            if (ev.kind == EventKey::Kind::Msg &&
+                (ev.epoch != FwdEpoch::None ||
+                 p_.msgs[ev.type].cls == MsgClass::Forward)) {
+                continue;  // race rules don't carry into the copy
+            }
+            for (const Transition &orig : alts) {
+                if (orig.kind != TransKind::Execute)
+                    continue;
+                Transition nt;
+                nt.guard = orig.guard;
+                nt.guard2 = orig.guard2;
+                nt.ops = orig.ops;
+                if (orig.next != kNoState &&
+                    dc_.state(orig.next).stable) {
+                    // Chain completion: immediately serve the deferred
+                    // forward from the end state.
+                    const Transition *h = handlerAt(orig.next, f);
+                    if (!h)
+                        continue;  // impossible end for this forward
+                    if (h->next == kNoState ||
+                        dc_.state(h->next).stable) {
+                        OpList extra = adaptDetached(h->ops);
+                        nt.ops.insert(nt.ops.end(), extra.begin(),
+                                      extra.end());
+                        nt.next = h->next == kNoState ? orig.next
+                                                      : h->next;
+                    } else {
+                        // The end state serves it through a proxy:
+                        // jump into the shared proxy chain (the
+                        // requestor was saved at defer time). The
+                        // completed transaction's ack bookkeeping must
+                        // not leak into the proxy's, and the proxy's
+                        // forwards take their serialization epoch from
+                        // the *end* state -- the grant that just ran
+                        // made the lower requestor a (pending) owner.
+                        bool end_o_like =
+                            dc_.state(orig.next).ownerStablePart;
+                        OpList extra;
+                        extra.push_back(Op::mk(OpCode::ResetAcks));
+                        for (Op op : h->ops) {
+                            if (op.code == OpCode::SaveMsgReq ||
+                                op.code == OpCode::SaveMsgAckCount) {
+                                continue;
+                            }
+                            if (op.code == OpCode::Send &&
+                                p_.msgs[op.send.type].cls ==
+                                    MsgClass::Forward) {
+                                if (op.send.dst == Dst::Owner) {
+                                    op.send.epoch =
+                                        end_o_like ? FwdEpoch::Past
+                                                   : FwdEpoch::Future;
+                                } else {
+                                    op.send.epoch = FwdEpoch::Past;
+                                }
+                            }
+                            extra.push_back(op);
+                        }
+                        nt.ops.insert(nt.ops.end(), extra.begin(),
+                                      extra.end());
+                        nt.next = h->next;
+                    }
+                } else if (orig.next != kNoState) {
+                    StateId sub = deferCopy(orig.next,
+                                            dc_.state(orig.next), f,
+                                            ends);
+                    if (sub == kNoState)
+                        continue;
+                    nt.next = sub;
+                } else {
+                    nt.next = id;
+                }
+                dc_.addTransition(id, ev, std::move(nt));
+            }
+        }
+        return id;
+    }
+};
+
+} // namespace
+
+HierProtocol
+generate(const Protocol &lower, const Protocol &higher,
+         const HierGenOptions &opts, HierGenStats *stats)
+{
+    HierGenStats local;
+    HierProtocol p = composeAtomic(lower, higher, opts.compose);
+    p.mode = opts.mode;
+
+    if (opts.mode != ConcurrencyMode::Atomic) {
+        // The dir/cache's upper half first: its race copies must exist
+        // before the directory passes add stalls and stamp epochs.
+        DirCacheUpperPass(p, opts.mode, local).run();
+
+        protogen::concurrentizeDirectory(p.root, p.msgs, p.infoH,
+                                         Level::Higher,
+                                         local.concurrency);
+        protogen::concurrentizeDirectory(p.dirCache, p.msgs, p.infoL,
+                                         Level::Lower,
+                                         local.concurrency);
+        protogen::concurrentizeCache(p.cacheH, p.msgs, p.infoH,
+                                     Level::Higher, opts.mode,
+                                     local.concurrency);
+        protogen::concurrentizeCache(p.cacheL, p.msgs, p.infoL,
+                                     Level::Lower, opts.mode,
+                                     local.concurrency);
+
+        if (opts.mergeEquivalentStates) {
+            local.concurrency.mergedStates +=
+                protogen::mergeEquivalentStates(p.cacheL);
+            local.concurrency.mergedStates +=
+                protogen::mergeEquivalentStates(p.cacheH);
+            local.concurrency.mergedStates +=
+                protogen::mergeEquivalentStates(p.dirCache);
+            local.concurrency.mergedStates +=
+                protogen::mergeEquivalentStates(p.root);
+        }
+    }
+
+    if (stats)
+        *stats = local;
+    return p;
+}
+
+std::vector<HierProtocol>
+generateDeep(const std::vector<const Protocol *> &levels,
+             const HierGenOptions &opts)
+{
+    HG_ASSERT(levels.size() >= 2, "deep hierarchy needs >= 2 levels");
+    std::vector<HierProtocol> out;
+    for (size_t i = 0; i + 1 < levels.size(); ++i)
+        out.push_back(generate(*levels[i], *levels[i + 1], opts));
+    return out;
+}
+
+} // namespace hieragen::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * HieraGen's top-level entry point: SSPs in, hierarchical protocol out
+ * (the tool flow of Figure 2).
+ */
+
+#ifndef HIERAGEN_CORE_HIERA_HH
+#define HIERAGEN_CORE_HIERA_HH
+
+#include "core/compose.hh"
+#include "protogen/concurrent.hh"
+
+namespace hieragen::core
+{
+
+struct HierGenOptions
+{
+    /** Atomic = Step 1 only; Stalling/NonStalling also run Step 2. */
+    ConcurrencyMode mode = ConcurrencyMode::Atomic;
+    ComposeOptions compose;
+    bool mergeEquivalentStates = true;
+};
+
+struct HierGenStats
+{
+    protogen::ConcurrencyStats concurrency;
+    size_t dirCacheRaceStates = 0;  ///< race copies on the dir/cache
+};
+
+/**
+ * Generate a hierarchical protocol from two flat atomic SSPs.
+ * @p lower attaches below @p higher as in Figure 1(b)/(d).
+ */
+HierProtocol generate(const Protocol &lower, const Protocol &higher,
+                      const HierGenOptions &opts = {},
+                      HierGenStats *stats = nullptr);
+
+/**
+ * Compose an existing hierarchical protocol's *whole subtree* as the
+ * lower level of yet another SSP is not representable directly;
+ * deeper hierarchies (Section VII-A) instead compose level by level:
+ * this helper builds an N-level protocol by repeatedly treating the
+ * previous dir/cache boundary as the new lower level's interface. The
+ * returned vector holds one HierProtocol per adjacent level pair; see
+ * examples/three_level.cpp.
+ */
+std::vector<HierProtocol>
+generateDeep(const std::vector<const Protocol *> &levels,
+             const HierGenOptions &opts = {});
+
+} // namespace hieragen::core
+
+#endif // HIERAGEN_CORE_HIERA_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Abstract syntax tree for the SSP domain-specific language.
+ *
+ * The DSL describes *atomic* stable-state protocols, exactly as in the
+ * paper: stable states only, with `await` blocks marking the points
+ * where a transaction pauses for responses. Transient states are not
+ * written by the user; lowering synthesizes them.
+ *
+ * Grammar sketch:
+ *
+ *   protocol NAME ;
+ *   message NAME : (request|forward|response) [data] [acks]
+ *                  [eviction] [invalidating] ;
+ *   cache { initial S; state S [perm (none|read|readwrite)]
+ *           [owner] [dirty]; ... process/forward decls ... }
+ *   directory { ... }
+ *
+ *   process ( STATE , (load|store|evict|MSGNAME) ) [if GUARD] {
+ *       stmt* } [-> STATE] ;
+ *   forward ( STATE , MSGNAME ) [if GUARD] { stmt* } [-> STATE] ;
+ *
+ *   stmt := send MSG to DST [data] [acks ACKS] ;
+ *         | copydata; | hit; | setacks; | invalidate;
+ *         | addsharer; | removesharer; | clearsharers;
+ *         | setowner; | clearowner; | addownersharer;
+ *         | collect MSGNAME ;
+ *         | await { when MSG [if GUARD] : { stmt* } [-> STATE] ; ... }
+ */
+
+#ifndef HIERAGEN_DSL_AST_HH
+#define HIERAGEN_DSL_AST_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsm/ops.hh"
+#include "fsm/types.hh"
+
+namespace hieragen::dsl
+{
+
+struct MessageDecl
+{
+    std::string name;
+    MsgClass cls = MsgClass::Request;
+    bool data = false;
+    bool acks = false;
+    bool eviction = false;
+    bool invalidating = false;
+    int line = 0;
+};
+
+struct StateDecl
+{
+    std::string name;
+    Perm perm = Perm::None;
+    bool owner = false;
+    bool dirty = false;
+    int line = 0;
+};
+
+/** Guard spellings, mapped 1:1 onto fsm Guard values. */
+enum class GuardSpelling : uint8_t {
+    None,
+    AcksZero,
+    FromOwner,
+    NotFromOwner,
+    LastSharer,
+    NotLastSharer,
+    SharersEmpty,
+    SharersNotEmpty,
+    ReqIsOwner,
+    ReqNotOwner,
+};
+
+Guard toGuard(GuardSpelling g);
+
+/** Destination spellings; resolved against context during lowering. */
+enum class DstSpelling : uint8_t { Dir, Req, Owner, Sharers };
+
+/** Ack payload spellings. */
+enum class AckSpelling : uint8_t { None, Zero, Sharers, AllSharers,
+                                   FromMsg };
+
+struct Stmt;
+using StmtList = std::vector<Stmt>;
+
+struct WhenBranch
+{
+    std::string msgName;
+    GuardSpelling guard = GuardSpelling::None;
+    StmtList body;
+    /** Chain terminator; empty means fall through to the parent body. */
+    std::optional<std::string> nextState;
+    int line = 0;
+};
+
+struct AwaitBlock
+{
+    std::vector<WhenBranch> branches;
+    int line = 0;
+};
+
+struct Stmt
+{
+    enum class Kind : uint8_t {
+        Send,
+        CopyData,
+        Hit,
+        SetAcks,
+        Invalidate,
+        AddSharer,
+        RemoveSharer,
+        ClearSharers,
+        SetOwner,
+        ClearOwner,
+        AddOwnerSharer,
+        Collect,
+        Await,
+    };
+
+    Kind kind = Kind::Hit;
+
+    // Send operands.
+    std::string sendMsg;
+    DstSpelling sendDst = DstSpelling::Dir;
+    bool sendData = false;
+    AckSpelling sendAcks = AckSpelling::None;
+
+    // Collect operand.
+    std::string collectMsg;
+
+    // Await operand (shared_ptr keeps Stmt copyable).
+    std::shared_ptr<AwaitBlock> await;
+
+    int line = 0;
+};
+
+struct HandlerDecl
+{
+    bool isProcess = true;  ///< process (access/request) vs forward
+    std::string state;
+    /** "load"/"store"/"evict" for cache processes; a message name for
+     *  directory processes and all forward handlers. */
+    std::string trigger;
+    GuardSpelling guard = GuardSpelling::None;
+    StmtList body;
+    std::optional<std::string> nextState;
+    int line = 0;
+};
+
+struct ControllerAst
+{
+    std::string initial;
+    std::vector<StateDecl> states;
+    std::vector<HandlerDecl> handlers;
+};
+
+struct ProtocolAst
+{
+    std::string name;
+    std::vector<MessageDecl> messages;
+    ControllerAst cache;
+    ControllerAst directory;
+};
+
+} // namespace hieragen::dsl
+
+#endif // HIERAGEN_DSL_AST_HH

@@ -1,0 +1,142 @@
+#include "dsl/lexer.hh"
+
+#include <cctype>
+
+#include "util/logging.hh"
+
+namespace hieragen::dsl
+{
+
+const char *
+toString(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Ident:
+        return "identifier";
+      case TokenKind::Number:
+        return "number";
+      case TokenKind::LBrace:
+        return "'{'";
+      case TokenKind::RBrace:
+        return "'}'";
+      case TokenKind::LParen:
+        return "'('";
+      case TokenKind::RParen:
+        return "')'";
+      case TokenKind::Comma:
+        return "','";
+      case TokenKind::Semicolon:
+        return "';'";
+      case TokenKind::Colon:
+        return "':'";
+      case TokenKind::Arrow:
+        return "'->'";
+      case TokenKind::EndOfFile:
+        return "end of file";
+    }
+    return "?";
+}
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> out;
+    int line = 1;
+    int col = 1;
+    size_t i = 0;
+    const size_t n = source.size();
+
+    auto peek = [&](size_t off = 0) -> char {
+        return i + off < n ? source[i + off] : '\0';
+    };
+    auto push = [&](TokenKind kind, std::string text) {
+        out.push_back(Token{kind, std::move(text), line, col});
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            col = 1;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            ++col;
+            continue;
+        }
+        if (c == '#' || (c == '/' && peek(1) == '/')) {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '-' && peek(1) == '>') {
+            push(TokenKind::Arrow, "->");
+            i += 2;
+            col += 2;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            int start_col = col;
+            while (i < n &&
+                   (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                    source[i] == '_')) {
+                ++i;
+                ++col;
+            }
+            out.push_back(Token{TokenKind::Ident,
+                                source.substr(start, i - start), line,
+                                start_col});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            int start_col = col;
+            while (i < n &&
+                   std::isdigit(static_cast<unsigned char>(source[i]))) {
+                ++i;
+                ++col;
+            }
+            out.push_back(Token{TokenKind::Number,
+                                source.substr(start, i - start), line,
+                                start_col});
+            continue;
+        }
+        TokenKind kind;
+        switch (c) {
+          case '{':
+            kind = TokenKind::LBrace;
+            break;
+          case '}':
+            kind = TokenKind::RBrace;
+            break;
+          case '(':
+            kind = TokenKind::LParen;
+            break;
+          case ')':
+            kind = TokenKind::RParen;
+            break;
+          case ',':
+            kind = TokenKind::Comma;
+            break;
+          case ';':
+            kind = TokenKind::Semicolon;
+            break;
+          case ':':
+            kind = TokenKind::Colon;
+            break;
+          default:
+            fatal("DSL lexer: unexpected character '", c, "' at line ",
+                  line, ", column ", col);
+        }
+        push(kind, std::string(1, c));
+        ++i;
+        ++col;
+    }
+    out.push_back(Token{TokenKind::EndOfFile, "", line, col});
+    return out;
+}
+
+} // namespace hieragen::dsl

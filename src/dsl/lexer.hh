@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Lexer for the SSP domain-specific language.
+ *
+ * Comments start with '#' or '//' and run to end of line. Keywords are
+ * contextual: the lexer only produces identifiers, numbers, and
+ * punctuation, and the parser matches keyword spellings.
+ */
+
+#ifndef HIERAGEN_DSL_LEXER_HH
+#define HIERAGEN_DSL_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "dsl/token.hh"
+
+namespace hieragen::dsl
+{
+
+/** Tokenize @p source; throws FatalError with line info on bad input. */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace hieragen::dsl
+
+#endif // HIERAGEN_DSL_LEXER_HH

@@ -1,0 +1,431 @@
+#include "dsl/lower.hh"
+
+#include <algorithm>
+
+#include "dsl/parser.hh"
+#include "dsl/sema.hh"
+#include "util/logging.hh"
+
+namespace hieragen::dsl
+{
+
+namespace
+{
+
+/** Shared context while lowering one handler's transaction chain. */
+struct ChainCtx
+{
+    Machine *machine = nullptr;
+    const MsgTypeTable *msgs = nullptr;
+    bool isCache = true;
+    bool isAccess = false;          ///< cache process (load/store/evict)
+    Access access = Access::Load;
+    StateId handlerState = kNoState;
+    std::string tag;                ///< access/trigger name for naming
+    int counter = 0;
+    std::vector<StateId> transients;
+    std::vector<StateId> collectors;
+    MsgTypeId collectorMsg = kNoMsgType;
+    std::vector<StateId> terminals;
+};
+
+class Lowerer
+{
+  public:
+    explicit Lowerer(const ProtocolAst &ast) : ast_(ast) {}
+
+    Protocol
+    run()
+    {
+        checkProtocol(ast_);
+        Protocol p;
+        p.name = ast_.name;
+        for (const auto &m : ast_.messages) {
+            MsgType t;
+            t.name = m.name;
+            t.level = Level::Lower;
+            t.cls = m.cls;
+            t.carriesData = m.data;
+            t.carriesAcks = m.acks;
+            t.eviction = m.eviction;
+            t.invalidating = m.invalidating;
+            p.msgs.add(t);
+        }
+        p.cache = lowerController(p.msgs, ast_.cache, true);
+        p.directory = lowerController(p.msgs, ast_.directory, false);
+        p.info = analyzeSsp(p.msgs, p.cache, p.directory);
+
+        // Propagate silent-upgrade marks onto states.
+        for (StateId s : p.info.silentUpgradeStates)
+            p.cache.state(s).silentUpgrade = true;
+
+        // Eviction acks ride the ordered forwarding network so a stale
+        // PutAck can never overtake the forward that demoted the
+        // evictor (the Primer's point-to-point ordering requirement).
+        for (const auto &[put, ack] : p.info.evictionAckType)
+            p.msgs.typeMutable(ack).orderedWithFwd = true;
+        return p;
+    }
+
+  private:
+    const ProtocolAst &ast_;
+
+    Machine
+    lowerController(const MsgTypeTable &msgs, const ControllerAst &ctrl,
+                    bool is_cache)
+    {
+        Machine m(is_cache ? "cache" : "directory",
+                  is_cache ? MachineRole::Cache
+                           : MachineRole::Directory);
+        for (const auto &sd : ctrl.states) {
+            State st;
+            st.name = sd.name;
+            st.stable = true;
+            st.perm = sd.perm;
+            st.owner = sd.owner;
+            st.dirty = sd.dirty;
+            m.addState(st);
+        }
+        m.setInitial(m.findState(ctrl.initial));
+
+        for (const auto &h : ctrl.handlers)
+            lowerHandler(m, msgs, h, is_cache);
+        return m;
+    }
+
+    static bool
+    bodyHasAwait(const StmtList &body)
+    {
+        for (const auto &s : body) {
+            if (s.kind == Stmt::Kind::Await)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    lowerHandler(Machine &m, const MsgTypeTable &msgs,
+                 const HandlerDecl &h, bool is_cache)
+    {
+        ChainCtx ctx;
+        ctx.machine = &m;
+        ctx.msgs = &msgs;
+        ctx.isCache = is_cache;
+        ctx.handlerState = m.findState(h.state);
+        ctx.tag = h.trigger;
+
+        EventKey event;
+        if (h.isProcess && is_cache) {
+            ctx.isAccess = true;
+            if (h.trigger == "load")
+                ctx.access = Access::Load;
+            else if (h.trigger == "store")
+                ctx.access = Access::Store;
+            else
+                ctx.access = Access::Evict;
+            event = EventKey::mkAccess(ctx.access);
+        } else {
+            MsgTypeId t = msgs.find(h.trigger, Level::Lower);
+            HG_ASSERT(t != kNoMsgType, "trigger vanished after sema");
+            event = EventKey::mkMsg(t);
+        }
+
+        std::optional<std::string> handler_next = h.nextState;
+        OpList entry_ops;
+        if (!is_cache && h.isProcess && bodyHasAwait(h.body))
+            entry_ops.push_back(Op::mk(OpCode::SaveMsgSrc));
+        lowerSeq(ctx, ctx.handlerState, event, toGuard(h.guard), h.body,
+                 std::move(entry_ops), handler_next);
+
+        // Ack-collection chains: earlier transients may see early
+        // InvAcks racing ahead of the count-bearing response; absorb
+        // them with a DecAck self-loop (the Primer's IM^AD behavior).
+        if (ctx.collectorMsg != kNoMsgType) {
+            for (StateId t : ctx.transients) {
+                if (std::find(ctx.collectors.begin(),
+                              ctx.collectors.end(),
+                              t) != ctx.collectors.end()) {
+                    continue;
+                }
+                Transition loop;
+                loop.ops = {Op::mk(OpCode::DecAck)};
+                loop.next = t;
+                m.addTransition(t, EventKey::mkMsg(ctx.collectorMsg),
+                                std::move(loop));
+            }
+        }
+
+        // Record chain endpoints and identity on every transient.
+        for (size_t k = 0; k < ctx.transients.size(); ++k) {
+            State &st = m.state(ctx.transients[k]);
+            st.endCandidates = ctx.terminals;
+            if (!ctx.terminals.empty())
+                st.endStable = ctx.terminals.front();
+            if (ctx.isAccess) {
+                st.hasChain = true;
+                st.chainAccess = ctx.access;
+                st.chainPhase = static_cast<int>(k);
+            }
+        }
+    }
+
+    /**
+     * Lower a statement sequence into transitions. @p from/@p event
+     * /@p guard identify the transition being built; @p ops carries
+     * already-accumulated actions. @p terminal is the state name this
+     * path ends in (falls back to the handler's own state).
+     */
+    void
+    lowerSeq(ChainCtx &ctx, StateId from, EventKey event, Guard guard,
+             StmtList stmts, OpList ops,
+             std::optional<std::string> terminal,
+             bool after_await = false)
+    {
+        Machine &m = *ctx.machine;
+        for (size_t i = 0; i < stmts.size(); ++i) {
+            const Stmt &s = stmts[i];
+            switch (s.kind) {
+              case Stmt::Kind::Send:
+                ops.push_back(lowerSend(ctx, s, after_await));
+                break;
+              case Stmt::Kind::CopyData:
+                ops.push_back(Op::mk(OpCode::CopyDataFromMsg));
+                break;
+              case Stmt::Kind::Hit:
+                break;  // commit ops are inserted automatically
+              case Stmt::Kind::SetAcks:
+                ops.push_back(Op::mk(OpCode::SetAcksFromMsg));
+                break;
+              case Stmt::Kind::Invalidate:
+                ops.push_back(Op::mk(OpCode::InvalidateLine));
+                break;
+              case Stmt::Kind::AddSharer:
+                ops.push_back(Op::mk(after_await && !ctx.isCache
+                                         ? OpCode::AddSavedToSharers
+                                         : OpCode::AddReqToSharers));
+                break;
+              case Stmt::Kind::RemoveSharer:
+                ops.push_back(
+                    Op::mk(after_await && !ctx.isCache
+                               ? OpCode::RemoveSavedFromSharers
+                               : OpCode::RemoveReqFromSharers));
+                break;
+              case Stmt::Kind::ClearSharers:
+                ops.push_back(Op::mk(OpCode::ClearSharers));
+                break;
+              case Stmt::Kind::SetOwner:
+                ops.push_back(Op::mk(after_await && !ctx.isCache
+                                         ? OpCode::SetOwnerToSaved
+                                         : OpCode::SetOwnerToReq));
+                break;
+              case Stmt::Kind::ClearOwner:
+                ops.push_back(Op::mk(OpCode::ClearOwner));
+                break;
+              case Stmt::Kind::AddOwnerSharer:
+                ops.push_back(Op::mk(OpCode::AddOwnerToSharers));
+                break;
+              case Stmt::Kind::Collect: {
+                MsgTypeId cm = ctx.msgs->find(s.collectMsg,
+                                              Level::Lower);
+                HG_ASSERT(cm != kNoMsgType, "collect msg after sema");
+                HG_ASSERT(terminal.has_value(),
+                          "collect requires a '->' terminal state");
+                ctx.collectorMsg = cm;
+                StateId coll = newTransient(ctx, "a");
+                ctx.collectors.push_back(coll);
+                closeTransition(ctx, from, event, guard, std::move(ops),
+                                coll);
+
+                StateId target = resolveTerminal(ctx, terminal);
+                Transition last;
+                last.guard = Guard::IsLastAck;
+                last.ops = {Op::mk(OpCode::DecAck)};
+                appendCommit(ctx, last.ops, target);
+                last.next = target;
+                m.addTransition(coll, EventKey::mkMsg(cm),
+                                std::move(last));
+
+                Transition more;
+                more.guard = Guard::NotLastAck;
+                more.ops = {Op::mk(OpCode::DecAck)};
+                more.next = coll;
+                m.addTransition(coll, EventKey::mkMsg(cm),
+                                std::move(more));
+                recordTerminal(ctx, target);
+                return;
+              }
+              case Stmt::Kind::Await: {
+                StateId t = newTransient(ctx, "w");
+                closeTransition(ctx, from, event, guard, std::move(ops),
+                                t);
+                for (const auto &b : s.await->branches) {
+                    MsgTypeId bm = ctx.msgs->find(b.msgName,
+                                                  Level::Lower);
+                    HG_ASSERT(bm != kNoMsgType, "when msg after sema");
+                    StmtList cont = b.body;
+                    std::optional<std::string> term = b.nextState;
+                    if (!term) {
+                        cont.insert(cont.end(), stmts.begin() + i + 1,
+                                    stmts.end());
+                        term = terminal;
+                    }
+                    lowerSeq(ctx, t, EventKey::mkMsg(bm),
+                             toGuard(b.guard), std::move(cont), OpList{},
+                             term, true);
+                }
+                return;
+              }
+            }
+        }
+
+        // Sequence exhausted: emit the terminal transition.
+        StateId target = resolveTerminal(ctx, terminal);
+        appendCommit(ctx, ops, target);
+        closeTransition(ctx, from, event, guard, std::move(ops), target);
+        recordTerminal(ctx, target);
+    }
+
+    Op
+    lowerSend(ChainCtx &ctx, const Stmt &s, bool after_await)
+    {
+        MsgTypeId type = ctx.msgs->find(s.sendMsg, Level::Lower);
+        HG_ASSERT(type != kNoMsgType, "send msg after sema");
+        const MsgType &mt = (*ctx.msgs)[type];
+
+        Dst dst = Dst::Parent;
+        ReqField rf = ReqField::None;
+        switch (s.sendDst) {
+          case DstSpelling::Dir:
+            dst = Dst::Parent;
+            break;
+          case DstSpelling::Req:
+            // Caches answer the requestor embedded in the forward;
+            // directories answer the requesting message's sender (or
+            // the saved requestor once an await consumed a response).
+            dst = ctx.isCache ? Dst::MsgReq
+                              : (after_await ? Dst::Saved : Dst::MsgSrc);
+            break;
+          case DstSpelling::Owner:
+            dst = Dst::Owner;
+            rf = ReqField::MsgSrc;
+            break;
+          case DstSpelling::Sharers:
+            dst = Dst::SharersExclReq;
+            rf = ReqField::MsgSrc;
+            break;
+        }
+        if (mt.cls == MsgClass::Forward && rf == ReqField::None)
+            rf = ReqField::MsgSrc;
+
+        AckPayload acks = AckPayload::None;
+        switch (s.sendAcks) {
+          case AckSpelling::None:
+            break;
+          case AckSpelling::Zero:
+            acks = AckPayload::Zero;
+            break;
+          case AckSpelling::Sharers:
+            acks = AckPayload::SharersExclReq;
+            break;
+          case AckSpelling::AllSharers:
+            acks = AckPayload::SharersAll;
+            break;
+          case AckSpelling::FromMsg:
+            acks = AckPayload::FromMsg;
+            break;
+        }
+        return Op::mkSend(type, dst, rf, acks, s.sendData);
+    }
+
+    StateId
+    newTransient(ChainCtx &ctx, const char *phase)
+    {
+        Machine &m = *ctx.machine;
+        const State &start = m.state(ctx.handlerState);
+        State st;
+        st.name = start.name + "_" + ctx.tag + "_" + phase +
+                  std::to_string(ctx.counter++);
+        st.stable = false;
+        st.perm = ctx.isAccess && ctx.access == Access::Evict
+                      ? Perm::None
+                      : start.perm;
+        st.owner = false;
+        st.dirty = start.dirty;
+        st.startStable = ctx.handlerState;
+        StateId id = m.addState(st);
+        ctx.transients.push_back(id);
+        return id;
+    }
+
+    StateId
+    resolveTerminal(ChainCtx &ctx,
+                    const std::optional<std::string> &terminal)
+    {
+        if (!terminal)
+            return ctx.handlerState;
+        StateId id = ctx.machine->findState(*terminal);
+        HG_ASSERT(id != kNoState, "terminal state after sema");
+        return id;
+    }
+
+    void
+    appendCommit(ChainCtx &ctx, OpList &ops, StateId target)
+    {
+        if (!ctx.isCache) {
+            return;
+        }
+        const State &t = ctx.machine->state(target);
+        if (ctx.isAccess) {
+            switch (ctx.access) {
+              case Access::Load:
+                ops.push_back(Op::mk(OpCode::DoLoad));
+                break;
+              case Access::Store:
+                ops.push_back(Op::mk(OpCode::DoStore));
+                break;
+              case Access::Evict:
+                ops.push_back(Op::mk(OpCode::InvalidateLine));
+                break;
+            }
+        } else if (t.stable && t.perm == Perm::None) {
+            // Forward handler demoting to an invalid state.
+            ops.push_back(Op::mk(OpCode::InvalidateLine));
+        }
+    }
+
+    void
+    closeTransition(ChainCtx &ctx, StateId from, EventKey event,
+                    Guard guard, OpList ops, StateId next)
+    {
+        Transition t;
+        t.guard = guard;
+        t.ops = std::move(ops);
+        t.next = next;
+        ctx.machine->addTransition(from, event, std::move(t));
+    }
+
+    void
+    recordTerminal(ChainCtx &ctx, StateId target)
+    {
+        if (std::find(ctx.terminals.begin(), ctx.terminals.end(),
+                      target) == ctx.terminals.end()) {
+            ctx.terminals.push_back(target);
+        }
+    }
+};
+
+} // namespace
+
+Protocol
+lowerProtocol(const ProtocolAst &ast)
+{
+    return Lowerer(ast).run();
+}
+
+Protocol
+compileProtocol(const std::string &source)
+{
+    return lowerProtocol(parseProtocol(source));
+}
+
+} // namespace hieragen::dsl

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Lowering: SSP AST -> atomic protocol FSMs.
+ *
+ * Each `await` in the DSL becomes a synthesized transient state; each
+ * `collect` becomes an ack-collecting transient with a self-loop. The
+ * output machines are *atomic* in the paper's sense: transient states
+ * exist, but no transition handles messages from other transactions
+ * (Step 2 adds those). Commit points (DoLoad/DoStore/InvalidateLine)
+ * are inserted automatically at chain terminations.
+ */
+
+#ifndef HIERAGEN_DSL_LOWER_HH
+#define HIERAGEN_DSL_LOWER_HH
+
+#include "dsl/ast.hh"
+#include "fsm/protocol.hh"
+
+namespace hieragen::dsl
+{
+
+/** Lower a checked AST into a flat atomic Protocol. */
+Protocol lowerProtocol(const ProtocolAst &ast);
+
+/** Parse + check + lower in one call. */
+Protocol compileProtocol(const std::string &source);
+
+} // namespace hieragen::dsl
+
+#endif // HIERAGEN_DSL_LOWER_HH

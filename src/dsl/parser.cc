@@ -1,0 +1,380 @@
+#include "dsl/parser.hh"
+
+#include "dsl/lexer.hh"
+#include "util/logging.hh"
+
+namespace hieragen::dsl
+{
+
+Guard
+toGuard(GuardSpelling g)
+{
+    switch (g) {
+      case GuardSpelling::None:
+        return Guard::None;
+      case GuardSpelling::AcksZero:
+        return Guard::AcksZero;
+      case GuardSpelling::FromOwner:
+        return Guard::FromOwner;
+      case GuardSpelling::NotFromOwner:
+        return Guard::NotFromOwner;
+      case GuardSpelling::LastSharer:
+        return Guard::LastSharer;
+      case GuardSpelling::NotLastSharer:
+        return Guard::NotLastSharer;
+      case GuardSpelling::SharersEmpty:
+        return Guard::SharersEmpty;
+      case GuardSpelling::SharersNotEmpty:
+        return Guard::SharersNotEmpty;
+      case GuardSpelling::ReqIsOwner:
+        return Guard::ReqIsOwner;
+      case GuardSpelling::ReqNotOwner:
+        return Guard::ReqNotOwner;
+    }
+    return Guard::None;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source)
+        : tokens_(tokenize(source))
+    {}
+
+    ProtocolAst
+    parse()
+    {
+        ProtocolAst ast;
+        expectIdent("protocol");
+        ast.name = expect(TokenKind::Ident).text;
+        expect(TokenKind::Semicolon);
+        while (!peek().is(TokenKind::EndOfFile)) {
+            if (peek().isIdent("message")) {
+                ast.messages.push_back(parseMessage());
+            } else if (peek().isIdent("cache")) {
+                next();
+                ast.cache = parseController();
+            } else if (peek().isIdent("directory")) {
+                next();
+                ast.directory = parseController();
+            } else {
+                err("expected 'message', 'cache', or 'directory'");
+            }
+        }
+        return ast;
+    }
+
+  private:
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+
+    const Token &peek(size_t off = 0) const
+    {
+        size_t i = pos_ + off;
+        if (i >= tokens_.size())
+            i = tokens_.size() - 1;
+        return tokens_[i];
+    }
+
+    const Token &next() { return tokens_[pos_++]; }
+
+    [[noreturn]] void
+    err(const std::string &what) const
+    {
+        const Token &t = peek();
+        fatal("DSL parse error at line ", t.line, ": ", what,
+              " (found ", toString(t.kind),
+              t.kind == TokenKind::Ident ? " '" + t.text + "'" : "", ")");
+    }
+
+    const Token &
+    expect(TokenKind kind)
+    {
+        if (!peek().is(kind))
+            err(std::string("expected ") + toString(kind));
+        return next();
+    }
+
+    void
+    expectIdent(const std::string &word)
+    {
+        if (!peek().isIdent(word))
+            err("expected '" + word + "'");
+        next();
+    }
+
+    bool
+    acceptIdent(const std::string &word)
+    {
+        if (peek().isIdent(word)) {
+            next();
+            return true;
+        }
+        return false;
+    }
+
+    MessageDecl
+    parseMessage()
+    {
+        MessageDecl decl;
+        decl.line = peek().line;
+        expectIdent("message");
+        decl.name = expect(TokenKind::Ident).text;
+        expect(TokenKind::Colon);
+        const Token &cls = expect(TokenKind::Ident);
+        if (cls.text == "request")
+            decl.cls = MsgClass::Request;
+        else if (cls.text == "forward")
+            decl.cls = MsgClass::Forward;
+        else if (cls.text == "response")
+            decl.cls = MsgClass::Response;
+        else
+            err("message class must be request/forward/response");
+        while (peek().is(TokenKind::Ident)) {
+            if (acceptIdent("data"))
+                decl.data = true;
+            else if (acceptIdent("acks"))
+                decl.acks = true;
+            else if (acceptIdent("eviction"))
+                decl.eviction = true;
+            else if (acceptIdent("invalidating"))
+                decl.invalidating = true;
+            else
+                err("unknown message attribute '" + peek().text + "'");
+        }
+        expect(TokenKind::Semicolon);
+        return decl;
+    }
+
+    ControllerAst
+    parseController()
+    {
+        ControllerAst ctrl;
+        expect(TokenKind::LBrace);
+        while (!peek().is(TokenKind::RBrace)) {
+            if (peek().isIdent("initial")) {
+                next();
+                ctrl.initial = expect(TokenKind::Ident).text;
+                expect(TokenKind::Semicolon);
+            } else if (peek().isIdent("state")) {
+                ctrl.states.push_back(parseStateDecl());
+            } else if (peek().isIdent("process") ||
+                       peek().isIdent("forward")) {
+                ctrl.handlers.push_back(parseHandler());
+            } else {
+                err("expected 'initial', 'state', 'process', or "
+                    "'forward'");
+            }
+        }
+        expect(TokenKind::RBrace);
+        return ctrl;
+    }
+
+    StateDecl
+    parseStateDecl()
+    {
+        StateDecl decl;
+        decl.line = peek().line;
+        expectIdent("state");
+        decl.name = expect(TokenKind::Ident).text;
+        while (peek().is(TokenKind::Ident)) {
+            if (acceptIdent("perm")) {
+                const Token &p = expect(TokenKind::Ident);
+                if (p.text == "none")
+                    decl.perm = Perm::None;
+                else if (p.text == "read")
+                    decl.perm = Perm::Read;
+                else if (p.text == "readwrite")
+                    decl.perm = Perm::ReadWrite;
+                else
+                    err("perm must be none/read/readwrite");
+            } else if (acceptIdent("owner")) {
+                decl.owner = true;
+            } else if (acceptIdent("dirty")) {
+                decl.dirty = true;
+            } else {
+                err("unknown state attribute '" + peek().text + "'");
+            }
+        }
+        expect(TokenKind::Semicolon);
+        return decl;
+    }
+
+    GuardSpelling
+    parseOptGuard()
+    {
+        if (!acceptIdent("if"))
+            return GuardSpelling::None;
+        const Token &g = expect(TokenKind::Ident);
+        if (g.text == "acks_zero")
+            return GuardSpelling::AcksZero;
+        if (g.text == "from_owner")
+            return GuardSpelling::FromOwner;
+        if (g.text == "not_from_owner")
+            return GuardSpelling::NotFromOwner;
+        if (g.text == "last_sharer")
+            return GuardSpelling::LastSharer;
+        if (g.text == "not_last_sharer")
+            return GuardSpelling::NotLastSharer;
+        if (g.text == "sharers_empty")
+            return GuardSpelling::SharersEmpty;
+        if (g.text == "sharers_not_empty")
+            return GuardSpelling::SharersNotEmpty;
+        if (g.text == "req_is_owner")
+            return GuardSpelling::ReqIsOwner;
+        if (g.text == "req_not_owner")
+            return GuardSpelling::ReqNotOwner;
+        err("unknown guard '" + g.text + "'");
+    }
+
+    HandlerDecl
+    parseHandler()
+    {
+        HandlerDecl decl;
+        decl.line = peek().line;
+        decl.isProcess = peek().isIdent("process");
+        next();
+        expect(TokenKind::LParen);
+        decl.state = expect(TokenKind::Ident).text;
+        expect(TokenKind::Comma);
+        decl.trigger = expect(TokenKind::Ident).text;
+        expect(TokenKind::RParen);
+        decl.guard = parseOptGuard();
+        decl.body = parseBlock();
+        if (peek().is(TokenKind::Arrow)) {
+            next();
+            decl.nextState = expect(TokenKind::Ident).text;
+        }
+        if (peek().is(TokenKind::Semicolon))
+            next();
+        return decl;
+    }
+
+    StmtList
+    parseBlock()
+    {
+        expect(TokenKind::LBrace);
+        StmtList body;
+        while (!peek().is(TokenKind::RBrace))
+            body.push_back(parseStmt());
+        expect(TokenKind::RBrace);
+        return body;
+    }
+
+    Stmt
+    parseStmt()
+    {
+        Stmt stmt;
+        stmt.line = peek().line;
+        const Token &t = expect(TokenKind::Ident);
+        const std::string &w = t.text;
+        if (w == "send") {
+            stmt.kind = Stmt::Kind::Send;
+            stmt.sendMsg = expect(TokenKind::Ident).text;
+            expectIdent("to");
+            const Token &dst = expect(TokenKind::Ident);
+            if (dst.text == "dir")
+                stmt.sendDst = DstSpelling::Dir;
+            else if (dst.text == "req")
+                stmt.sendDst = DstSpelling::Req;
+            else if (dst.text == "owner")
+                stmt.sendDst = DstSpelling::Owner;
+            else if (dst.text == "sharers")
+                stmt.sendDst = DstSpelling::Sharers;
+            else
+                err("send destination must be dir/req/owner/sharers");
+            while (peek().is(TokenKind::Ident)) {
+                if (acceptIdent("data")) {
+                    stmt.sendData = true;
+                } else if (acceptIdent("acks")) {
+                    const Token &a = expect(TokenKind::Ident);
+                    if (a.text == "zero")
+                        stmt.sendAcks = AckSpelling::Zero;
+                    else if (a.text == "sharers")
+                        stmt.sendAcks = AckSpelling::Sharers;
+                    else if (a.text == "allsharers")
+                        stmt.sendAcks = AckSpelling::AllSharers;
+                    else if (a.text == "frommsg")
+                        stmt.sendAcks = AckSpelling::FromMsg;
+                    else
+                        err("acks must be zero/sharers/allsharers/"
+                            "frommsg");
+                } else {
+                    err("unknown send attribute '" + peek().text + "'");
+                }
+            }
+            expect(TokenKind::Semicolon);
+        } else if (w == "await") {
+            stmt.kind = Stmt::Kind::Await;
+            stmt.await = std::make_shared<AwaitBlock>(parseAwait());
+        } else if (w == "collect") {
+            stmt.kind = Stmt::Kind::Collect;
+            stmt.collectMsg = expect(TokenKind::Ident).text;
+            expect(TokenKind::Semicolon);
+        } else {
+            static const std::pair<const char *, Stmt::Kind> simple[] = {
+                {"copydata", Stmt::Kind::CopyData},
+                {"hit", Stmt::Kind::Hit},
+                {"setacks", Stmt::Kind::SetAcks},
+                {"invalidate", Stmt::Kind::Invalidate},
+                {"addsharer", Stmt::Kind::AddSharer},
+                {"removesharer", Stmt::Kind::RemoveSharer},
+                {"clearsharers", Stmt::Kind::ClearSharers},
+                {"setowner", Stmt::Kind::SetOwner},
+                {"clearowner", Stmt::Kind::ClearOwner},
+                {"addownersharer", Stmt::Kind::AddOwnerSharer},
+            };
+            bool found = false;
+            for (const auto &[name, kind] : simple) {
+                if (w == name) {
+                    stmt.kind = kind;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                err("unknown statement '" + w + "'");
+            expect(TokenKind::Semicolon);
+        }
+        return stmt;
+    }
+
+    AwaitBlock
+    parseAwait()
+    {
+        AwaitBlock block;
+        block.line = peek().line;
+        expect(TokenKind::LBrace);
+        while (!peek().is(TokenKind::RBrace)) {
+            WhenBranch branch;
+            branch.line = peek().line;
+            expectIdent("when");
+            branch.msgName = expect(TokenKind::Ident).text;
+            branch.guard = parseOptGuard();
+            expect(TokenKind::Colon);
+            branch.body = parseBlock();
+            if (peek().is(TokenKind::Arrow)) {
+                next();
+                branch.nextState = expect(TokenKind::Ident).text;
+            }
+            if (peek().is(TokenKind::Semicolon))
+                next();
+            block.branches.push_back(std::move(branch));
+        }
+        expect(TokenKind::RBrace);
+        return block;
+    }
+};
+
+} // namespace
+
+ProtocolAst
+parseProtocol(const std::string &source)
+{
+    return Parser(source).parse();
+}
+
+} // namespace hieragen::dsl

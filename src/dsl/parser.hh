@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Recursive-descent parser for the SSP DSL.
+ */
+
+#ifndef HIERAGEN_DSL_PARSER_HH
+#define HIERAGEN_DSL_PARSER_HH
+
+#include <string>
+
+#include "dsl/ast.hh"
+
+namespace hieragen::dsl
+{
+
+/** Parse DSL source into an AST; throws FatalError on syntax errors. */
+ProtocolAst parseProtocol(const std::string &source);
+
+} // namespace hieragen::dsl
+
+#endif // HIERAGEN_DSL_PARSER_HH

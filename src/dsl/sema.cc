@@ -1,0 +1,208 @@
+#include "dsl/sema.hh"
+
+#include <set>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace hieragen::dsl
+{
+
+namespace
+{
+
+struct Checker
+{
+    const ProtocolAst &ast;
+    std::set<std::string> msgNames;
+
+    const MessageDecl *
+    findMsg(const std::string &name) const
+    {
+        for (const auto &m : ast.messages) {
+            if (m.name == name)
+                return &m;
+        }
+        return nullptr;
+    }
+
+    [[noreturn]] void
+    err(int line, const std::string &what) const
+    {
+        fatal("protocol '", ast.name, "' line ", line, ": ", what);
+    }
+
+    void
+    checkStmts(const StmtList &body, bool is_cache, int depth)
+    {
+        for (const auto &s : body) {
+            switch (s.kind) {
+              case Stmt::Kind::Send: {
+                const MessageDecl *m = findMsg(s.sendMsg);
+                if (!m)
+                    err(s.line, "unknown message '" + s.sendMsg + "'");
+                if (is_cache && s.sendDst == DstSpelling::Owner)
+                    err(s.line, "caches cannot address the owner");
+                if (is_cache && s.sendDst == DstSpelling::Sharers)
+                    err(s.line, "caches cannot multicast to sharers");
+                if (is_cache && m->cls == MsgClass::Forward)
+                    err(s.line, "caches cannot send forward-class "
+                                "messages");
+                if (!is_cache && m->cls == MsgClass::Request)
+                    err(s.line, "directories cannot send request-class "
+                                "messages");
+                if (s.sendAcks != AckSpelling::None && !m->acks)
+                    err(s.line, "message '" + s.sendMsg +
+                                    "' has no acks attribute");
+                if (s.sendData && !m->data)
+                    err(s.line, "message '" + s.sendMsg +
+                                    "' has no data attribute");
+                break;
+              }
+              case Stmt::Kind::Collect: {
+                const MessageDecl *m = findMsg(s.collectMsg);
+                if (!m)
+                    err(s.line, "unknown message '" + s.collectMsg +
+                                    "'");
+                if (m->cls != MsgClass::Response)
+                    err(s.line, "can only collect response messages");
+                break;
+              }
+              case Stmt::Kind::Await: {
+                if (depth >= 3)
+                    err(s.line, "awaits nested too deeply");
+                for (const auto &b : s.await->branches) {
+                    const MessageDecl *m = findMsg(b.msgName);
+                    if (!m)
+                        err(b.line,
+                            "unknown message '" + b.msgName + "'");
+                    if (m->cls != MsgClass::Response)
+                        err(b.line, "atomic SSPs may only await "
+                                    "response messages; racing "
+                                    "requests are handled by Step 2");
+                    if (b.nextState &&
+                        !stateExists(is_cache, *b.nextState)) {
+                        err(b.line, "unknown state '" + *b.nextState +
+                                        "'");
+                    }
+                    checkStmts(b.body, is_cache, depth + 1);
+                }
+                break;
+              }
+              case Stmt::Kind::AddSharer:
+              case Stmt::Kind::RemoveSharer:
+              case Stmt::Kind::ClearSharers:
+              case Stmt::Kind::SetOwner:
+              case Stmt::Kind::ClearOwner:
+              case Stmt::Kind::AddOwnerSharer:
+                if (is_cache)
+                    err(s.line, "sharer/owner bookkeeping is a "
+                                "directory-only statement");
+                break;
+              case Stmt::Kind::Hit:
+              case Stmt::Kind::SetAcks:
+                if (!is_cache)
+                    err(s.line, "cache-only statement in directory");
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    bool
+    stateExists(bool is_cache, const std::string &name) const
+    {
+        const ControllerAst &c = is_cache ? ast.cache : ast.directory;
+        for (const auto &s : c.states) {
+            if (s.name == name)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    checkController(const ControllerAst &ctrl, bool is_cache)
+    {
+        const char *what = is_cache ? "cache" : "directory";
+        if (ctrl.states.empty())
+            fatal("protocol '", ast.name, "': ", what,
+                  " declares no states");
+        if (ctrl.initial.empty())
+            fatal("protocol '", ast.name, "': ", what,
+                  " has no initial state");
+        if (!stateExists(is_cache, ctrl.initial))
+            fatal("protocol '", ast.name, "': ", what,
+                  " initial state '", ctrl.initial, "' not declared");
+
+        std::set<std::string> seen;
+        for (const auto &s : ctrl.states) {
+            if (!seen.insert(s.name).second)
+                err(s.line, std::string("duplicate state '") + s.name +
+                                "' in " + what);
+        }
+
+        std::set<std::string> accesses{"load", "store", "evict"};
+        for (const auto &h : ctrl.handlers) {
+            if (!stateExists(is_cache, h.state))
+                err(h.line, "unknown state '" + h.state + "'");
+            if (h.nextState && !stateExists(is_cache, *h.nextState))
+                err(h.line, "unknown state '" + *h.nextState + "'");
+            if (h.isProcess && is_cache) {
+                if (!accesses.count(h.trigger))
+                    err(h.line, "cache process trigger must be "
+                                "load/store/evict");
+            } else {
+                const MessageDecl *m = findMsg(h.trigger);
+                if (!m)
+                    err(h.line,
+                        "unknown message '" + h.trigger + "'");
+                if (h.isProcess && !is_cache &&
+                    m->cls != MsgClass::Request) {
+                    err(h.line, "directory process trigger must be a "
+                                "request message");
+                }
+                if (!h.isProcess && m->cls != MsgClass::Forward)
+                    err(h.line, "forward handler trigger must be a "
+                                "forward message");
+            }
+            if (!is_cache && !h.isProcess)
+                err(h.line, "directories do not receive forwards");
+            checkStmts(h.body, is_cache, 0);
+        }
+
+        // Duplicate (state, trigger, guard) handlers are ambiguous.
+        std::set<std::string> keys;
+        for (const auto &h : ctrl.handlers) {
+            std::string key = h.state + "/" + h.trigger + "/" +
+                              std::to_string(static_cast<int>(h.guard));
+            if (!keys.insert(key).second)
+                err(h.line, "duplicate handler for (" + h.state + ", " +
+                                h.trigger + ") with the same guard");
+        }
+    }
+
+    void
+    run()
+    {
+        if (ast.messages.empty())
+            fatal("protocol '", ast.name, "': no messages declared");
+        std::set<std::string> names;
+        for (const auto &m : ast.messages) {
+            if (!names.insert(m.name).second)
+                err(m.line, "duplicate message '" + m.name + "'");
+        }
+        checkController(ast.cache, true);
+        checkController(ast.directory, false);
+    }
+};
+
+} // namespace
+
+void
+checkProtocol(const ProtocolAst &ast)
+{
+    Checker{ast, {}}.run();
+}
+
+} // namespace hieragen::dsl

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Semantic analysis of parsed SSP protocols.
+ */
+
+#ifndef HIERAGEN_DSL_SEMA_HH
+#define HIERAGEN_DSL_SEMA_HH
+
+#include "dsl/ast.hh"
+
+namespace hieragen::dsl
+{
+
+/**
+ * Validate the AST: states and messages resolve, message classes are
+ * used in the right positions, the initial state exists, guards make
+ * sense for the controller role. Throws FatalError on the first error.
+ */
+void checkProtocol(const ProtocolAst &ast);
+
+} // namespace hieragen::dsl
+
+#endif // HIERAGEN_DSL_SEMA_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tokens of the SSP domain-specific language.
+ */
+
+#ifndef HIERAGEN_DSL_TOKEN_HH
+#define HIERAGEN_DSL_TOKEN_HH
+
+#include <string>
+
+namespace hieragen::dsl
+{
+
+enum class TokenKind : uint8_t {
+    Ident,      ///< identifiers and keywords (keywords are contextual)
+    Number,
+    LBrace,     ///< {
+    RBrace,     ///< }
+    LParen,     ///< (
+    RParen,     ///< )
+    Comma,
+    Semicolon,
+    Colon,
+    Arrow,      ///< ->
+    EndOfFile,
+};
+
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;
+    int line = 0;
+    int col = 0;
+
+    bool is(TokenKind k) const { return kind == k; }
+    bool isIdent(const std::string &s) const
+    {
+        return kind == TokenKind::Ident && text == s;
+    }
+};
+
+const char *toString(TokenKind kind);
+
+} // namespace hieragen::dsl
+
+#endif // HIERAGEN_DSL_TOKEN_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The shared FSM interpreter.
+ *
+ * Both the model checker (src/verif) and the simulator (src/sim)
+ * execute generated machines through this module, so a protocol that
+ * verifies is byte-for-byte the protocol that simulates.
+ */
+
+#ifndef HIERAGEN_FSM_EXEC_HH
+#define HIERAGEN_FSM_EXEC_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fsm/machine.hh"
+#include "fsm/msg.hh"
+
+namespace hieragen
+{
+
+/** Transaction bookkeeping entry (one outstanding block transaction). */
+struct Tbe
+{
+    int8_t ackCtr = 0;          ///< may dip negative on early InvAcks
+    bool countReceived = false; ///< an ack-count-bearing msg arrived
+    NodeId savedRequestor = kNoNode;
+    NodeId savedLower = kNoNode;
+    int8_t savedAckCount = 0;
+
+    /** Stash for the pending transaction's ack state while a nested
+     *  proxy window (dir/cache race clone) runs its own count. */
+    int8_t stashedCtr = 0;
+    bool stashedRecv = false;
+
+    bool operator==(const Tbe &other) const = default;
+
+    void
+    reset()
+    {
+        ackCtr = 0;
+        countReceived = false;
+        savedRequestor = kNoNode;
+        savedLower = kNoNode;
+        savedAckCount = 0;
+        stashedCtr = 0;
+        stashedRecv = false;
+    }
+};
+
+/** Complete per-block dynamic state of one controller. */
+struct BlockState
+{
+    StateId state = kNoState;
+    bool hasData = false;
+    uint8_t data = 0;
+    Tbe tbe;
+
+    // Directory-role bookkeeping.
+    uint32_t sharers = 0;  ///< bitmask over global node ids
+    NodeId owner = kNoNode;
+
+    bool operator==(const BlockState &other) const = default;
+};
+
+/** Static description of one controller instance in a system. */
+struct NodeCtx
+{
+    NodeId id = kNoNode;
+    const Machine *machine = nullptr;
+    NodeId parent = kNoNode;   ///< this node's directory
+    bool leafCache = false;    ///< counted in SWMR / data-value checks
+    Level level = Level::Lower;
+};
+
+/**
+ * Environment callbacks the interpreter needs: message emission, the
+ * data-value ghost, and error reporting.
+ */
+class ExecEnv
+{
+  public:
+    virtual ~ExecEnv() = default;
+
+    /** Emit a message onto the interconnect. */
+    virtual void send(const Msg &msg) = 0;
+
+    /** A store commits at @p node; return the value to write. */
+    virtual uint8_t storeValue(NodeId node) = 0;
+
+    /** A load commits at @p node observing (@p has_data, value). */
+    virtual void loadObserved(NodeId node, bool has_data,
+                              uint8_t value) = 0;
+
+    /** The interpreter hit a protocol error (unexpected msg, ...). */
+    virtual void error(const std::string &what) = 0;
+};
+
+/** Outcome of delivering one event to a controller. */
+enum class StepResult : uint8_t {
+    Executed,  ///< a transition fired
+    Stalled,   ///< matched an explicit stall; event stays pending
+    Error,     ///< no handler / no guard matched / op failure
+};
+
+/** Evaluate a guard against the current block state and message. */
+bool evalGuard(Guard g, const BlockState &blk, const Msg *msg);
+
+/**
+ * Deliver one event (a message or a core access) to a controller.
+ * On Executed, @p blk is updated in place and sends/commits have been
+ * routed through @p env. @p mark_reached drives the Section V-E
+ * reachability census.
+ */
+StepResult deliverEvent(const NodeCtx &node, const MsgTypeTable &msgs,
+                        BlockState &blk, const EventKey &event,
+                        const Msg *msg, ExecEnv &env,
+                        bool mark_reached = false);
+
+/** Convenience: deliver a message (derives the event key from it). */
+StepResult deliverMsg(const NodeCtx &node, const MsgTypeTable &msgs,
+                      BlockState &blk, const Msg &msg, ExecEnv &env,
+                      bool mark_reached = false);
+
+} // namespace hieragen
+
+#endif // HIERAGEN_FSM_EXEC_HH

@@ -1,0 +1,108 @@
+#include "fsm/lint.hh"
+
+#include <set>
+
+namespace hieragen
+{
+
+std::vector<LintIssue>
+lintMachine(const MsgTypeTable &msgs, const Machine &m)
+{
+    std::vector<LintIssue> issues;
+    auto add = [&](StateId s, const std::string &what) {
+        issues.push_back(
+            {m.name(), s == kNoState ? "?" : m.state(s).name, what});
+    };
+
+    std::set<StateId> has_response_exit;
+
+    for (const auto &[key, alts] : m.table()) {
+        const auto &[state, event] = key;
+        bool any_unguarded = false;
+        for (const auto &t : alts) {
+            if (t.guard == Guard::None && t.guard2 == Guard::None)
+                any_unguarded = true;
+
+            if (t.next != kNoState &&
+                (t.next < 0 ||
+                 t.next >= static_cast<StateId>(m.numStates()))) {
+                add(state, "transition target out of range");
+            }
+            if (t.kind == TransKind::Stall &&
+                event.kind == EventKey::Kind::Msg &&
+                msgs[event.type].cls == MsgClass::Response &&
+                m.state(state).name.find('@') == std::string::npos) {
+                add(state, "response " + msgs.displayName(event.type) +
+                               " stalled outside a race window");
+            }
+            if (t.kind == TransKind::Execute &&
+                event.kind == EventKey::Kind::Msg &&
+                msgs[event.type].cls == MsgClass::Response) {
+                has_response_exit.insert(state);
+            }
+            for (const Op &op : t.ops) {
+                if (op.code != OpCode::Send)
+                    continue;
+                const MsgType &mt = msgs[op.send.type];
+                if (op.send.withData && !mt.carriesData) {
+                    add(state, "data attached to non-data message " +
+                                   msgs.displayName(op.send.type));
+                }
+                if (op.send.acks != AckPayload::None &&
+                    !mt.carriesAcks) {
+                    add(state,
+                        "ack count attached to non-ack message " +
+                            msgs.displayName(op.send.type));
+                }
+                if (op.send.epoch != FwdEpoch::None &&
+                    mt.cls != MsgClass::Forward) {
+                    add(state, "epoch tag on non-forward send " +
+                                   msgs.displayName(op.send.type));
+                }
+            }
+        }
+        // A fully guarded alternative list must end in a fallback or a
+        // complementary pair; a single one-sided guard can dead-end.
+        if (!any_unguarded && alts.size() == 1 &&
+            alts.front().kind == TransKind::Execute &&
+            alts.front().guard != Guard::None) {
+            Guard g = alts.front().guard;
+            bool self_complete = g == Guard::IsLastAck ||
+                                 g == Guard::NotLastAck;
+            if (!self_complete) {
+                add(state, "single guarded alternative may dead-end");
+            }
+        }
+    }
+
+    // Progress: transients must be able to consume some response.
+    for (StateId s = 0; s < static_cast<StateId>(m.numStates()); ++s) {
+        if (m.state(s).stable)
+            continue;
+        bool referenced = false;
+        for (const auto &[key, alts] : m.table()) {
+            if (key.first == s && !alts.empty()) {
+                referenced = true;
+                break;
+            }
+        }
+        if (!referenced)
+            continue;  // dead state (left by merging); harmless
+        if (!has_response_exit.count(s)) {
+            add(s, "transient state consumes no response "
+                   "(cannot make progress)");
+        }
+    }
+    return issues;
+}
+
+std::string
+formatIssues(const std::vector<LintIssue> &issues)
+{
+    std::string out;
+    for (const auto &i : issues)
+        out += i.machine + "/" + i.state + ": " + i.what + "\n";
+    return out;
+}
+
+} // namespace hieragen

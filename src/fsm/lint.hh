@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Structural lints over generated machines.
+ *
+ * These are protocol-independent well-formedness rules; violating any
+ * of them is either a generator bug or a deadlock hazard (e.g. a
+ * stalled response can form a message-dependence cycle).
+ */
+
+#ifndef HIERAGEN_FSM_LINT_HH
+#define HIERAGEN_FSM_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hh"
+#include "fsm/msg.hh"
+
+namespace hieragen
+{
+
+struct LintIssue
+{
+    std::string machine;
+    std::string state;
+    std::string what;
+};
+
+/**
+ * Run all lints over a machine:
+ *  - transition targets are valid states,
+ *  - guard alternatives for an event are exhaustive in pairs (a
+ *    guarded alternative without a complement or fallback),
+ *  - data-bearing sends only use data-bearing message types,
+ *  - epoch tags only appear on Forward-class sends,
+ *  - responses are never stalled except inside explicit dir/cache
+ *    race windows (proxy clones),
+ *  - every transient state has at least one outgoing Execute
+ *    transition on a Response-class message (progress guarantee).
+ */
+std::vector<LintIssue> lintMachine(const MsgTypeTable &msgs,
+                                   const Machine &m);
+
+/** Render issues one per line. */
+std::string formatIssues(const std::vector<LintIssue> &issues);
+
+} // namespace hieragen
+
+#endif // HIERAGEN_FSM_LINT_HH

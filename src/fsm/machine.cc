@@ -1,0 +1,171 @@
+#include "fsm/machine.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace hieragen
+{
+
+StateId
+Machine::addState(const State &state)
+{
+    HG_ASSERT(findState(state.name) == kNoState,
+              "duplicate state ", state.name, " in machine ", name_);
+    states_.push_back(state);
+    stateReached_.push_back(false);
+    return static_cast<StateId>(states_.size() - 1);
+}
+
+StateId
+Machine::findState(const std::string &name) const
+{
+    for (size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].name == name)
+            return static_cast<StateId>(i);
+    }
+    return kNoState;
+}
+
+StateId
+Machine::ensureState(const State &state)
+{
+    StateId id = findState(state.name);
+    if (id != kNoState)
+        return id;
+    return addState(state);
+}
+
+size_t
+Machine::numStableStates() const
+{
+    return static_cast<size_t>(
+        std::count_if(states_.begin(), states_.end(),
+                      [](const State &s) { return s.stable; }));
+}
+
+void
+Machine::addTransition(StateId state, const EventKey &event, Transition t)
+{
+    HG_ASSERT(state >= 0 && state < static_cast<StateId>(states_.size()),
+              "bad state id in machine ", name_);
+    table_[{state, event}].push_back(std::move(t));
+}
+
+void
+Machine::setTransitions(StateId state, const EventKey &event,
+                        std::vector<Transition> list)
+{
+    table_[{state, event}] = std::move(list);
+}
+
+bool
+Machine::hasTransition(StateId state, const EventKey &event) const
+{
+    return table_.count({state, event}) > 0;
+}
+
+const std::vector<Transition> *
+Machine::transitionsFor(StateId state, const EventKey &event) const
+{
+    auto it = table_.find({state, event});
+    if (it == table_.end())
+        return nullptr;
+    return &it->second;
+}
+
+std::vector<Transition> *
+Machine::transitionsForMutable(StateId state, const EventKey &event)
+{
+    auto it = table_.find({state, event});
+    if (it == table_.end())
+        return nullptr;
+    return &it->second;
+}
+
+size_t
+Machine::numTransitions() const
+{
+    size_t n = 0;
+    for (const auto &[key, alts] : table_) {
+        for (const auto &t : alts) {
+            if (t.kind == TransKind::Execute)
+                ++n;
+        }
+    }
+    return n;
+}
+
+size_t
+Machine::numReachedTransitions() const
+{
+    size_t n = 0;
+    for (const auto &[key, alts] : table_) {
+        for (const auto &t : alts) {
+            if (t.kind == TransKind::Execute && t.reached)
+                ++n;
+        }
+    }
+    return n;
+}
+
+size_t
+Machine::numReachedStates() const
+{
+    return static_cast<size_t>(
+        std::count(stateReached_.begin(), stateReached_.end(), true));
+}
+
+void
+Machine::clearReachedMarks()
+{
+    for (auto &[key, alts] : table_) {
+        for (auto &t : alts)
+            t.reached = false;
+    }
+    std::fill(stateReached_.begin(), stateReached_.end(), false);
+}
+
+void
+Machine::pruneUnreached()
+{
+    for (auto it = table_.begin(); it != table_.end();) {
+        auto &alts = it->second;
+        alts.erase(std::remove_if(alts.begin(), alts.end(),
+                                  [](const Transition &t) {
+                                      return !t.reached &&
+                                             t.kind == TransKind::Execute;
+                                  }),
+                   alts.end());
+        if (alts.empty())
+            it = table_.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::vector<EventKey>
+Machine::allEventKeys() const
+{
+    std::set<EventKey> keys;
+    for (const auto &[key, alts] : table_)
+        keys.insert(key.second);
+    return {keys.begin(), keys.end()};
+}
+
+void
+Machine::markStateReached(StateId id) const
+{
+    HG_ASSERT(id >= 0 && id < static_cast<StateId>(states_.size()),
+              "bad state id in reach mark for ", name_);
+    stateReached_[id] = true;
+}
+
+bool
+Machine::stateReached(StateId id) const
+{
+    return stateReached_.at(id);
+}
+
+} // namespace hieragen

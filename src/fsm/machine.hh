@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Controller finite state machines: states, events, transitions.
+ *
+ * A Machine is the output artifact of every stage of the pipeline:
+ * DSL lowering produces atomic machines with transient states, Step 1
+ * produces the composed dir/cache machine, Step 2 produces concurrent
+ * machines. The same representation is interpreted by the model
+ * checker and the simulator and translated by the Murphi emitter.
+ */
+
+#ifndef HIERAGEN_FSM_MACHINE_HH
+#define HIERAGEN_FSM_MACHINE_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsm/msg.hh"
+#include "fsm/ops.hh"
+#include "fsm/types.hh"
+
+namespace hieragen
+{
+
+/** One controller state (stable or transient). */
+struct State
+{
+    std::string name;
+    bool stable = true;
+
+    /**
+     * Access permission the block grants while in this state. For a
+     * transient state this is the permission still held from the start
+     * state (e.g. SM^AD retains Read).
+     */
+    Perm perm = Perm::None;
+    bool owner = false;   ///< this node supplies data for the block
+    bool dirty = false;   ///< local copy differs from parent's
+
+    /**
+     * A state is silently upgradeable if the protocol lets it gain
+     * write permission without any message (the MESI E state). This is
+     * what the Step-1 compatibility check (paper Section V-D) looks for.
+     */
+    bool silentUpgrade = false;
+
+    StateId startStable = kNoState;  ///< transient: where it came from
+    StateId endStable = kNoState;    ///< transient: primary destination
+    /** All stable states this transient's chain can terminate in. */
+    std::vector<StateId> endCandidates;
+
+    /** Chain identity, used to re-base racing transactions. */
+    bool hasChain = false;
+    Access chainAccess = Access::Load;
+    int chainPhase = 0;
+
+    /**
+     * For dir/cache composed transients: the lower-level request whose
+     * encapsulation created this chain (kNoMsgType for access chains
+     * and for pure dir-role chains).
+     */
+    MsgTypeId chainReqMsg = kNoMsgType;
+
+    /** Non-stalling deferral copies: the forward being deferred. */
+    MsgTypeId deferredFwd = kNoMsgType;
+
+    /** dir/cache composed states: component state per role. */
+    StateId cacheHPart = kNoState;
+    StateId dirLPart = kNoState;
+
+    /**
+     * The state's directory half is "owner-stable" (O-like): the
+     * tracked owner's granting epoch closed long ago, so forwards sent
+     * from here to the owner are Past w.r.t. any request of his.
+     * Set by the composer from the input dir-L; flat machines derive
+     * it from ReqIsOwner guards instead.
+     */
+    bool ownerStablePart = false;
+};
+
+/** What kind of event a transition consumes. */
+struct EventKey
+{
+    enum class Kind : uint8_t { Access, Msg } kind = Kind::Msg;
+    Access access = Access::Load;   ///< valid when kind == Access
+    MsgTypeId type = kNoMsgType;    ///< valid when kind == Msg
+    FwdEpoch epoch = FwdEpoch::None;
+
+    auto operator<=>(const EventKey &other) const = default;
+
+    static EventKey
+    mkAccess(Access a)
+    {
+        EventKey k;
+        k.kind = Kind::Access;
+        k.access = a;
+        return k;
+    }
+
+    static EventKey
+    mkMsg(MsgTypeId t, FwdEpoch e = FwdEpoch::None)
+    {
+        EventKey k;
+        k.kind = Kind::Msg;
+        k.type = t;
+        k.epoch = e;
+        return k;
+    }
+};
+
+/** Transition disposition. */
+enum class TransKind : uint8_t {
+    Execute,  ///< run ops, move to next state
+    Stall,    ///< leave the event pending (stalling protocols)
+};
+
+/** One guarded transition alternative. */
+struct Transition
+{
+    Guard guard = Guard::None;
+    /** Second conjunct, used when a composed transition carries both a
+     *  higher-level guard and a lower-level (dir-L) guard. */
+    Guard guard2 = Guard::None;
+    TransKind kind = TransKind::Execute;
+    OpList ops;
+    StateId next = kNoState;
+
+    /** Set by the reachability census (Section V-E pruning). */
+    mutable bool reached = false;
+};
+
+/** A finite state machine for one controller type. */
+class Machine
+{
+  public:
+    Machine() = default;
+    Machine(std::string name, MachineRole role)
+        : name_(std::move(name)), role_(role)
+    {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+    MachineRole role() const { return role_; }
+    void setRole(MachineRole r) { role_ = r; }
+
+    StateId addState(const State &state);
+    /** Find a state by name; kNoState if absent. */
+    StateId findState(const std::string &name) const;
+    /** Find-or-create a transient state. */
+    StateId ensureState(const State &state);
+
+    const State &state(StateId id) const { return states_.at(id); }
+    State &state(StateId id) { return states_.at(id); }
+    size_t numStates() const { return states_.size(); }
+    size_t numStableStates() const;
+
+    StateId initial() const { return initial_; }
+    void setInitial(StateId id) { initial_ = id; }
+
+    /** Append a transition alternative for (state, event). */
+    void addTransition(StateId state, const EventKey &event,
+                       Transition t);
+    /** Replace all alternatives for (state, event). */
+    void setTransitions(StateId state, const EventKey &event,
+                        std::vector<Transition> list);
+    bool hasTransition(StateId state, const EventKey &event) const;
+    /** All alternatives for (state, event); empty if none. */
+    const std::vector<Transition> *
+    transitionsFor(StateId state, const EventKey &event) const;
+    std::vector<Transition> *
+    transitionsForMutable(StateId state, const EventKey &event);
+
+    /** Iterate every (state, event, alternatives) entry. */
+    const std::map<std::pair<StateId, EventKey>,
+                   std::vector<Transition>> &
+    table() const
+    {
+        return table_;
+    }
+    std::map<std::pair<StateId, EventKey>, std::vector<Transition>> &
+    tableMutable()
+    {
+        return table_;
+    }
+
+    /** Number of Execute transition alternatives (paper's metric). */
+    size_t numTransitions() const;
+    /** Number of Execute alternatives marked reached by the census. */
+    size_t numReachedTransitions() const;
+    /** Number of states with at least one reached inbound/initial use. */
+    size_t numReachedStates() const;
+
+    /** Reset all reached marks. */
+    void clearReachedMarks();
+    /** Drop all transitions (and states) never marked reached. */
+    void pruneUnreached();
+
+    /** All event keys that appear anywhere in the table. */
+    std::vector<EventKey> allEventKeys() const;
+
+    /** States marked reached (directly settable by the census). */
+    void markStateReached(StateId id) const;
+    bool stateReached(StateId id) const;
+
+  private:
+    std::string name_;
+    MachineRole role_ = MachineRole::Cache;
+    std::vector<State> states_;
+    StateId initial_ = kNoState;
+    std::map<std::pair<StateId, EventKey>, std::vector<Transition>>
+        table_;
+    mutable std::vector<bool> stateReached_;
+};
+
+} // namespace hieragen
+
+#endif // HIERAGEN_FSM_MACHINE_HH

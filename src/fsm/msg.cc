@@ -1,0 +1,85 @@
+#include "fsm/msg.hh"
+
+#include "util/logging.hh"
+
+namespace hieragen
+{
+
+std::string
+MsgTypeTable::key(const std::string &name, Level level)
+{
+    return name + (level == Level::Lower ? "#L" : "#H");
+}
+
+MsgTypeId
+MsgTypeTable::add(const MsgType &type)
+{
+    auto it = index_.find(key(type.name, type.level));
+    if (it != index_.end()) {
+        const MsgType &existing = types_[it->second];
+        HG_ASSERT(existing.cls == type.cls &&
+                      existing.carriesData == type.carriesData &&
+                      existing.eviction == type.eviction,
+                  "conflicting redefinition of message type ", type.name);
+        return it->second;
+    }
+    types_.push_back(type);
+    MsgTypeId id = static_cast<MsgTypeId>(types_.size() - 1);
+    index_[key(type.name, type.level)] = id;
+    return id;
+}
+
+MsgTypeId
+MsgTypeTable::find(const std::string &name, Level level) const
+{
+    auto it = index_.find(key(name, level));
+    if (it == index_.end())
+        return kNoMsgType;
+    return it->second;
+}
+
+std::string
+MsgTypeTable::displayName(MsgTypeId id) const
+{
+    const MsgType &t = types_.at(id);
+    if (!hasBothLevels())
+        return t.name;
+    return t.name + (t.level == Level::Lower ? "-L" : "-H");
+}
+
+std::vector<MsgTypeId>
+MsgTypeTable::ofClass(MsgClass cls, Level level) const
+{
+    std::vector<MsgTypeId> out;
+    for (size_t i = 0; i < types_.size(); ++i) {
+        if (types_[i].cls == cls && types_[i].level == level)
+            out.push_back(static_cast<MsgTypeId>(i));
+    }
+    return out;
+}
+
+std::vector<MsgTypeId>
+MsgTypeTable::import(const MsgTypeTable &src, Level level)
+{
+    std::vector<MsgTypeId> remap(src.size(), kNoMsgType);
+    for (size_t i = 0; i < src.size(); ++i) {
+        MsgType t = src.types_[i];
+        t.level = level;
+        remap[i] = add(t);
+    }
+    return remap;
+}
+
+bool
+MsgTypeTable::hasBothLevels() const
+{
+    bool lower = false;
+    bool higher = false;
+    for (const auto &t : types_) {
+        lower = lower || t.level == Level::Lower;
+        higher = higher || t.level == Level::Higher;
+    }
+    return lower && higher;
+}
+
+} // namespace hieragen

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Message type registry for a protocol bundle.
+ *
+ * Protocols define their own message vocabulary (GetS, GetM, Inv, Data,
+ * InvAck, ...). A MsgTypeTable interns names to dense ids and records
+ * per-type attributes that the generators and the interpreter need.
+ * Hierarchical bundles hold both levels' types in one table, tagged with
+ * their Level; the printer appends "-L"/"-H" when a name is ambiguous.
+ */
+
+#ifndef HIERAGEN_FSM_MSG_HH
+#define HIERAGEN_FSM_MSG_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fsm/types.hh"
+
+namespace hieragen
+{
+
+/** Static attributes of one message type. */
+struct MsgType
+{
+    std::string name;
+    Level level = Level::Lower;
+    MsgClass cls = MsgClass::Request;
+    bool carriesData = false;  ///< payload includes a data block
+    bool carriesAcks = false;  ///< payload includes an ack count
+    bool eviction = false;     ///< request retires a block (Put*)
+    bool invalidating = false; ///< forward that removes read permission
+
+    /**
+     * Travels on the forwarding network, which is point-to-point
+     * ordered (the Primer's requirement). Set for eviction acks so a
+     * stale PutAck can never overtake the forward that demoted the
+     * evictor.
+     */
+    bool orderedWithFwd = false;
+};
+
+/** Registry of message types for one (possibly hierarchical) protocol. */
+class MsgTypeTable
+{
+  public:
+    /** Intern a type; attributes must match if it already exists. */
+    MsgTypeId add(const MsgType &type);
+
+    /** Look up by (name, level); returns kNoMsgType if absent. */
+    MsgTypeId find(const std::string &name, Level level) const;
+
+    const MsgType &operator[](MsgTypeId id) const { return types_.at(id); }
+    MsgType &typeMutable(MsgTypeId id) { return types_.at(id); }
+    size_t size() const { return types_.size(); }
+
+    /** Display name, suffixed with -L/-H when both levels are present. */
+    std::string displayName(MsgTypeId id) const;
+
+    /** All ids of a given class at a given level. */
+    std::vector<MsgTypeId> ofClass(MsgClass cls, Level level) const;
+
+    /** Copy all types of @p src into this table at @p level. Returns a
+     *  remapping from src ids to new ids. */
+    std::vector<MsgTypeId> import(const MsgTypeTable &src, Level level);
+
+    bool hasBothLevels() const;
+
+  private:
+    std::vector<MsgType> types_;
+    std::unordered_map<std::string, MsgTypeId> index_;
+
+    static std::string key(const std::string &name, Level level);
+};
+
+/** A concrete in-flight message (interpreter runtime). */
+struct Msg
+{
+    MsgTypeId type = kNoMsgType;
+    NodeId src = kNoNode;
+    NodeId dst = kNoNode;
+    NodeId requestor = kNoNode;  ///< originating requestor on forwards
+    FwdEpoch epoch = FwdEpoch::None;
+    int ackCount = 0;
+    bool hasData = false;
+    uint8_t data = 0;
+
+    /** FIFO position within an ordered (src, dst) channel; not part of
+     *  message identity. */
+    int32_t seq = 0;
+
+    /** Cache-block address (the model checker verifies one block; the
+     *  simulator runs many). Not part of message identity. */
+    int32_t addr = 0;
+
+    bool
+    operator==(const Msg &other) const
+    {
+        return type == other.type && src == other.src &&
+               dst == other.dst && requestor == other.requestor &&
+               epoch == other.epoch && ackCount == other.ackCount &&
+               hasData == other.hasData && data == other.data;
+    }
+};
+
+/** True if @p m travels on the ordered forwarding network. */
+inline bool
+onOrderedVnet(const MsgTypeTable &types, const Msg &m)
+{
+    const MsgType &t = types[m.type];
+    return t.cls == MsgClass::Forward || t.orderedWithFwd;
+}
+
+} // namespace hieragen
+
+#endif // HIERAGEN_FSM_MSG_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The action vocabulary of generated controllers.
+ *
+ * Every transition carries an ordered list of Ops. The interpreter in
+ * fsm/exec executes them against a controller's per-block state and a
+ * network sink; the Murphi emitter translates each Op to Murphi
+ * statements. Keeping the vocabulary closed (an enum, not free-form
+ * code) is what makes composition (Step 1) and concurrency injection
+ * (Step 2) mechanical: the generators splice Op lists from the input
+ * SSPs, exactly like the paper's "code pointer" notation in Section V-C.
+ */
+
+#ifndef HIERAGEN_FSM_OPS_HH
+#define HIERAGEN_FSM_OPS_HH
+
+#include <string>
+#include <vector>
+
+#include "fsm/msg.hh"
+#include "fsm/types.hh"
+
+namespace hieragen
+{
+
+/** Destination selector for a Send op. */
+enum class Dst : uint8_t {
+    Parent,         ///< this level's directory / the node's parent
+    MsgSrc,         ///< sender of the message being processed
+    MsgReq,         ///< requestor field of the message being processed
+    Saved,          ///< TBE.savedRequestor
+    SavedLower,     ///< TBE.savedLowerRequestor (dir/cache pending child)
+    Owner,          ///< the directory-tracked owner
+    SharersExclReq, ///< multicast to sharers except the requestor
+    SharersAll,     ///< multicast to all sharers
+};
+
+/** Which node id to place in the requestor field of a sent message. */
+enum class ReqField : uint8_t {
+    None,
+    Self,        ///< proxy-cache transactions: acks route back to us
+    MsgSrc,
+    MsgReq,
+    Saved,
+    SavedLower,
+};
+
+/** Ack-count payload selector for data/ack-count messages. */
+enum class AckPayload : uint8_t {
+    None,            ///< message has no ack-count field
+    Zero,
+    SharersExclReq,  ///< |sharers \ requestor|
+    SharersAll,      ///< |sharers|
+    FromMsg,         ///< copy the count from the message being handled
+    SavedCount,      ///< TBE.savedAckCount (stashed by SaveMsgAckCount)
+};
+
+/** Opcode set. Send* ops consult the SendSpec operand. */
+enum class OpCode : uint8_t {
+    Send,              ///< emit a message per SendSpec
+
+    // Local data movement.
+    CopyDataFromMsg,   ///< message payload -> local line (line valid)
+    InvalidateLine,    ///< drop the local line
+    DoLoad,            ///< commit the pending load (data-value checked)
+    DoStore,           ///< commit the pending store (writes fresh value)
+
+    // Ack bookkeeping (TBE).
+    SetAcksFromMsg,    ///< expected += msg.ackCount; mark count received
+    SetAcksZero,       ///< mark count received with zero expected
+    ResetAcks,         ///< clear counter+flag (transaction handoff)
+    StashAcks,         ///< park the pending transaction's ack state
+    RestoreAcks,       ///< bring the parked ack state back
+    DecAck,            ///< one InvAck arrived
+    AddAcksFromSharersExclReq, ///< dir/cache proxy: expect |sharers\req|
+    AddAcksFromSharersAll,     ///< dir/cache proxy: expect |sharers|
+
+    // Saved requestors (TBE).
+    SaveMsgReq,        ///< TBE.savedRequestor = msg.requestor
+    SaveMsgAckCount,   ///< TBE.savedAckCount = msg.ackCount
+    SaveMsgSrc,        ///< TBE.savedRequestor = msg.src
+    SaveLowerReq,      ///< TBE.savedLowerRequestor = msg.src
+    ClearSaved,
+
+    // Directory bookkeeping. The *Saved* variants act on the requestor
+    // saved at transaction start; lowering rewrites post-await actions
+    // to them because the current message is no longer the request.
+    AddReqToSharers,
+    AddSavedToSharers,
+    AddSavedLowerToSharers,
+    RemoveReqFromSharers,
+    RemoveSavedFromSharers,
+    ClearSharers,
+    SetOwnerToReq,
+    SetOwnerToSaved,
+    SetOwnerToSavedLower,
+    SetOwnerSelf,      ///< proxy-cache becomes the tracked owner
+    ClearOwner,
+    AddOwnerToSharers,
+};
+
+/** Full description of a message emission. */
+struct SendSpec
+{
+    MsgTypeId type = kNoMsgType;
+    Dst dst = Dst::Parent;
+    ReqField reqField = ReqField::None;
+    AckPayload acks = AckPayload::None;
+    bool withData = false;  ///< attach the local line's data
+
+    /**
+     * Serialization-epoch tag stamped onto forwarded requests by the
+     * concurrency generator (ProtoGen's renaming, Section II-B).
+     */
+    FwdEpoch epoch = FwdEpoch::None;
+
+    bool operator==(const SendSpec &other) const = default;
+};
+
+/** One executable action. */
+struct Op
+{
+    OpCode code = OpCode::Send;
+    SendSpec send;  ///< meaningful only for OpCode::Send
+
+    bool operator==(const Op &other) const = default;
+
+    static Op
+    mkSend(MsgTypeId type, Dst dst, ReqField rf = ReqField::None,
+           AckPayload acks = AckPayload::None, bool with_data = false)
+    {
+        Op op;
+        op.code = OpCode::Send;
+        op.send = SendSpec{type, dst, rf, acks, with_data};
+        return op;
+    }
+
+    static Op
+    mk(OpCode code)
+    {
+        Op op;
+        op.code = code;
+        return op;
+    }
+};
+
+using OpList = std::vector<Op>;
+
+/** Transition guards, evaluated against the current message and TBE. */
+enum class Guard : uint8_t {
+    None,
+    AcksZero,       ///< delivering this msg resolves the ack count to 0
+    AcksPending,    ///< complement of AcksZero
+    IsLastAck,      ///< this InvAck resolves the count
+    NotLastAck,
+    FromOwner,      ///< msg.src == tracked owner
+    NotFromOwner,
+    LastSharer,     ///< sharers == {msg.src}
+    NotLastSharer,
+    SharersEmpty,
+    SharersNotEmpty,
+    ReqIsOwner,     ///< msg.src == owner (upgrade request at directory)
+    ReqNotOwner,
+    SavedLowerIsOwner,   ///< TBE.savedLower == owner (encapsulated run)
+    SavedLowerNotOwner,
+};
+
+const char *toString(OpCode code);
+const char *toString(Guard g);
+const char *toString(Dst d);
+
+} // namespace hieragen
+
+#endif // HIERAGEN_FSM_OPS_HH

@@ -1,0 +1,77 @@
+#include "fsm/printer.hh"
+
+#include <sstream>
+
+namespace hieragen
+{
+
+std::string
+eventName(const MsgTypeTable &msgs, const EventKey &key)
+{
+    if (key.kind == EventKey::Kind::Access)
+        return toString(key.access);
+    std::string name = msgs.displayName(key.type);
+    if (key.epoch != FwdEpoch::None)
+        name += std::string("(") + toString(key.epoch) + ")";
+    return name;
+}
+
+std::string
+opName(const MsgTypeTable &msgs, const Op &op)
+{
+    if (op.code != OpCode::Send)
+        return toString(op.code);
+    std::ostringstream os;
+    os << "Send " << msgs.displayName(op.send.type) << " -> "
+       << toString(op.send.dst);
+    if (op.send.withData)
+        os << " [+data]";
+    if (op.send.acks != AckPayload::None)
+        os << " [+acks]";
+    return os.str();
+}
+
+void
+printMachine(std::ostream &os, const MsgTypeTable &msgs, const Machine &m)
+{
+    os << "machine " << m.name() << " (" << toString(m.role()) << ")\n";
+    os << "  states:";
+    for (StateId s = 0; s < static_cast<StateId>(m.numStates()); ++s) {
+        const State &st = m.state(s);
+        os << " " << st.name << (st.stable ? "" : "*");
+    }
+    os << "\n";
+    for (const auto &[key, alts] : m.table()) {
+        const auto &[state, event] = key;
+        for (const auto &t : alts) {
+            os << "  " << m.state(state).name << " + "
+               << eventName(msgs, event);
+            if (t.guard != Guard::None)
+                os << " if " << toString(t.guard);
+            if (t.guard2 != Guard::None)
+                os << " and " << toString(t.guard2);
+            os << " -> ";
+            if (t.kind == TransKind::Stall) {
+                os << "(stall)";
+            } else {
+                os << (t.next == kNoState ? m.state(state).name
+                                          : m.state(t.next).name);
+                for (const Op &op : t.ops)
+                    os << "; " << opName(msgs, op);
+            }
+            os << "\n";
+        }
+    }
+}
+
+std::string
+complexitySummary(const Machine &m)
+{
+    std::ostringstream os;
+    os << m.name() << ": " << m.numStates() << " states ("
+       << m.numStableStates() << " stable), " << m.numTransitions()
+       << " transitions";
+    return os.str();
+}
+
+} // namespace hieragen

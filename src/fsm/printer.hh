@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Human-readable dumps of machines and protocols.
+ */
+
+#ifndef HIERAGEN_FSM_PRINTER_HH
+#define HIERAGEN_FSM_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+#include "fsm/machine.hh"
+#include "fsm/protocol.hh"
+
+namespace hieragen
+{
+
+/** Render one event key ("load", "GetS", "Inv(Past)"). */
+std::string eventName(const MsgTypeTable &msgs, const EventKey &key);
+
+/** Render one op ("Send Data -> msg.req [+data]"). */
+std::string opName(const MsgTypeTable &msgs, const Op &op);
+
+/** Dump a full transition table. */
+void printMachine(std::ostream &os, const MsgTypeTable &msgs,
+                  const Machine &m);
+
+/** One-line complexity summary: "name: S states (s stable), T trans". */
+std::string complexitySummary(const Machine &m);
+
+} // namespace hieragen
+
+#endif // HIERAGEN_FSM_PRINTER_HH

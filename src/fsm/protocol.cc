@@ -1,0 +1,215 @@
+#include "fsm/protocol.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace hieragen
+{
+
+const char *
+toString(ConcurrencyMode m)
+{
+    switch (m) {
+      case ConcurrencyMode::Atomic:
+        return "atomic";
+      case ConcurrencyMode::Stalling:
+        return "stalling";
+      case ConcurrencyMode::NonStalling:
+        return "non-stalling";
+    }
+    return "?";
+}
+
+const CacheAccessPath *
+SspInfo::pathFromInvalid(Access a) const
+{
+    auto it = cachePaths.find({invalidState, a});
+    if (it == cachePaths.end() || !it->second.allowed)
+        return nullptr;
+    return &it->second;
+}
+
+namespace
+{
+
+/**
+ * Follow the transient chain starting at @p first until stable states,
+ * collecting every stable endpoint. Atomic chains are acyclic except
+ * for ack-collection self-loops, which we skip over.
+ */
+std::set<StateId>
+collectFinals(const Machine &m, StateId first)
+{
+    std::set<StateId> finals;
+    std::set<StateId> visited;
+    std::deque<StateId> work{first};
+    while (!work.empty()) {
+        StateId s = work.front();
+        work.pop_front();
+        if (visited.count(s))
+            continue;
+        visited.insert(s);
+        if (m.state(s).stable) {
+            finals.insert(s);
+            continue;
+        }
+        for (const auto &[key, alts] : m.table()) {
+            if (key.first != s)
+                continue;
+            for (const auto &t : alts) {
+                if (t.kind == TransKind::Execute && t.next != kNoState)
+                    work.push_back(t.next);
+            }
+        }
+    }
+    return finals;
+}
+
+} // namespace
+
+SspInfo
+analyzeSsp(const MsgTypeTable &msgs, const Machine &cache,
+           const Machine &directory)
+{
+    SspInfo info;
+    info.invalidState = cache.initial();
+
+    // Cache access paths and request->access classification.
+    for (StateId s = 0; s < static_cast<StateId>(cache.numStates()); ++s) {
+        if (!cache.state(s).stable)
+            continue;
+        for (Access a : {Access::Load, Access::Store, Access::Evict}) {
+            const auto *alts =
+                cache.transitionsFor(s, EventKey::mkAccess(a));
+            if (!alts || alts->empty())
+                continue;
+            CacheAccessPath path;
+            path.allowed = true;
+            const Transition &t = alts->front();
+            MsgTypeId req = kNoMsgType;
+            for (const Op &op : t.ops) {
+                if (op.code == OpCode::Send &&
+                    msgs[op.send.type].cls == MsgClass::Request) {
+                    req = op.send.type;
+                    break;
+                }
+            }
+            if (req == kNoMsgType) {
+                path.hit = true;
+                path.finalStates.insert(t.next == kNoState ? s : t.next);
+            } else {
+                path.request = req;
+                path.firstTransient = t.next;
+                path.finalStates = collectFinals(cache, t.next);
+            }
+            info.cachePaths[{s, a}] = path;
+
+            if (req != kNoMsgType) {
+                // A request may serve several accesses (MI's GetM serves
+                // both load and store); keep the strongest access.
+                auto it = info.requestAccess.find(req);
+                if (it == info.requestAccess.end() ||
+                    !permCovers(permForAccess(it->second),
+                                permForAccess(a))) {
+                    info.requestAccess[req] = a;
+                }
+                if (msgs[req].eviction || a == Access::Evict) {
+                    info.evictionRequests.insert(req);
+                    if (cache.state(s).owner)
+                        info.ownerEvictions.insert(req);
+                    // The response completing the eviction chain.
+                    for (const auto &[key2, alts2] : cache.table()) {
+                        if (key2.first != t.next ||
+                            key2.second.kind != EventKey::Kind::Msg) {
+                            continue;
+                        }
+                        if (msgs[key2.second.type].cls ==
+                            MsgClass::Response) {
+                            info.evictionAckType[req] =
+                                key2.second.type;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Silent-upgrade detection (paper Section V-D): a read-only stable
+    // state whose store access is a hit ending in a writable state.
+    for (StateId s = 0; s < static_cast<StateId>(cache.numStates()); ++s) {
+        const State &st = cache.state(s);
+        if (!st.stable || st.perm != Perm::Read)
+            continue;
+        auto it = info.cachePaths.find({s, Access::Store});
+        if (it == info.cachePaths.end() || !it->second.allowed ||
+            !it->second.hit) {
+            continue;
+        }
+        for (StateId f : it->second.finalStates) {
+            if (cache.state(f).perm == Perm::ReadWrite) {
+                info.hasSilentUpgrade = true;
+                info.silentUpgradeStates.push_back(s);
+                break;
+            }
+        }
+    }
+
+    // Requested and maximum-possible permission per request.
+    for (const auto &[key, path] : info.cachePaths) {
+        if (path.request == kNoMsgType)
+            continue;
+        Perm req_perm = Perm::None;
+        Perm max_perm = Perm::None;
+        for (StateId f : path.finalStates) {
+            const State &fs = cache.state(f);
+            if (permCovers(fs.perm, req_perm))
+                req_perm = fs.perm;
+            Perm eff = fs.perm;
+            bool silent =
+                std::find(info.silentUpgradeStates.begin(),
+                          info.silentUpgradeStates.end(),
+                          f) != info.silentUpgradeStates.end();
+            if (silent)
+                eff = Perm::ReadWrite;
+            if (permCovers(eff, max_perm))
+                max_perm = eff;
+        }
+        auto &rp = info.requestPerm[path.request];
+        if (permCovers(req_perm, rp))
+            rp = req_perm;
+        auto &mp = info.requestMaxPerm[path.request];
+        if (permCovers(max_perm, mp))
+            mp = max_perm;
+    }
+
+    // Forwarded-request access types: a forward inherits the access of
+    // the directory request whose handling emits it.
+    for (const auto &[key, alts] : directory.table()) {
+        const auto &[state, event] = key;
+        if (event.kind != EventKey::Kind::Msg)
+            continue;
+        auto ra = info.requestAccess.find(event.type);
+        if (ra == info.requestAccess.end())
+            continue;
+        for (const auto &t : alts) {
+            for (const Op &op : t.ops) {
+                if (op.code == OpCode::Send &&
+                    msgs[op.send.type].cls == MsgClass::Forward) {
+                    auto it = info.fwdAccess.find(op.send.type);
+                    if (it == info.fwdAccess.end() ||
+                        !permCovers(permForAccess(it->second),
+                                    permForAccess(ra->second))) {
+                        info.fwdAccess[op.send.type] = ra->second;
+                    }
+                }
+            }
+        }
+    }
+
+    return info;
+}
+
+} // namespace hieragen

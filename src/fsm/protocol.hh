@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Protocol bundles: the unit the pipeline stages pass around.
+ *
+ * A flat Protocol is one level's SSP after DSL lowering: a cache
+ * machine, a directory machine, a message table, and derived semantic
+ * facts (SspInfo). A HierProtocol is HieraGen's output: the four node
+ * machines of the hierarchical protocol.
+ */
+
+#ifndef HIERAGEN_FSM_PROTOCOL_HH
+#define HIERAGEN_FSM_PROTOCOL_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hh"
+#include "fsm/msg.hh"
+
+namespace hieragen
+{
+
+/** How a (stable state, access) pair is served by the cache SSP. */
+struct CacheAccessPath
+{
+    bool allowed = false;       ///< the SSP defines this pair
+    bool hit = false;           ///< served with no request
+    MsgTypeId request = kNoMsgType;  ///< request issued on a miss
+    StateId firstTransient = kNoState;
+    std::set<StateId> finalStates;   ///< stable states the path can end in
+};
+
+/**
+ * Semantic facts HieraGen derives by "processing the SSP"
+ * (paper Sections V-A through V-D).
+ */
+struct SspInfo
+{
+    std::map<std::pair<StateId, Access>, CacheAccessPath> cachePaths;
+
+    /** Access type that generates each request (GetM -> Store, ...). */
+    std::map<MsgTypeId, Access> requestAccess;
+
+    /** Access type that generates each forwarded request. */
+    std::map<MsgTypeId, Access> fwdAccess;
+
+    /**
+     * Greatest permission a requestor could end up with after request r
+     * completes, counting silent upgrades (paper Section V-D).
+     */
+    std::map<MsgTypeId, Perm> requestMaxPerm;
+
+    /** Permission actually requested (ignoring silent upgrades). */
+    std::map<MsgTypeId, Perm> requestPerm;
+
+    bool hasSilentUpgrade = false;
+    std::vector<StateId> silentUpgradeStates;
+
+    /** Eviction request types (PutS, PutM, PutE, ...). */
+    std::set<MsgTypeId> evictionRequests;
+
+    /** Eviction requests issued from owner states (PutM/PutE family). */
+    std::set<MsgTypeId> ownerEvictions;
+
+    /** Response type acknowledging each eviction request (PutAck). */
+    std::map<MsgTypeId, MsgTypeId> evictionAckType;
+
+    /** The path used for access @p a starting from the initial state. */
+    const CacheAccessPath *pathFromInvalid(Access a) const;
+    StateId invalidState = kNoState;
+};
+
+/** A flat (single-level) protocol after lowering. */
+struct Protocol
+{
+    std::string name;
+    MsgTypeTable msgs;
+    Machine cache;
+    Machine directory;
+    SspInfo info;
+};
+
+/** Variant of concurrency generation (paper Section VI). */
+enum class ConcurrencyMode { Atomic, Stalling, NonStalling };
+
+const char *toString(ConcurrencyMode m);
+
+/** A hierarchical protocol: HieraGen's output. */
+struct HierProtocol
+{
+    std::string name;          ///< e.g. "MSI/MSI"
+    ConcurrencyMode mode = ConcurrencyMode::Atomic;
+    MsgTypeTable msgs;         ///< both levels' message types
+    Machine cacheL;
+    Machine dirCache;
+    Machine cacheH;
+    Machine root;
+
+    /** Lower/higher level semantic info (ids remapped into msgs). */
+    SspInfo infoL;
+    SspInfo infoH;
+
+    std::vector<const Machine *>
+    machines() const
+    {
+        return {&cacheL, &dirCache, &cacheH, &root};
+    }
+
+    std::vector<Machine *>
+    machinesMutable()
+    {
+        return {&cacheL, &dirCache, &cacheH, &root};
+    }
+};
+
+/**
+ * Derive SspInfo from a lowered atomic protocol. This is the
+ * "processing the SSP" step the paper relies on: request/forward access
+ * types, permission classification, and silent-upgrade detection are
+ * all inferred, never user-annotated.
+ */
+SspInfo analyzeSsp(const MsgTypeTable &msgs, const Machine &cache,
+                   const Machine &directory);
+
+} // namespace hieragen
+
+#endif // HIERAGEN_FSM_PROTOCOL_HH

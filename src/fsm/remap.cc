@@ -1,0 +1,79 @@
+#include "fsm/remap.hh"
+
+#include "util/logging.hh"
+
+namespace hieragen
+{
+
+namespace
+{
+
+MsgTypeId
+mapId(const std::vector<MsgTypeId> &remap, MsgTypeId id)
+{
+    if (id == kNoMsgType)
+        return kNoMsgType;
+    HG_ASSERT(id >= 0 && id < static_cast<MsgTypeId>(remap.size()),
+              "remap out of range");
+    return remap[id];
+}
+
+} // namespace
+
+Machine
+remapMachineMsgs(const Machine &m, const std::vector<MsgTypeId> &remap)
+{
+    Machine out(m.name(), m.role());
+    for (StateId s = 0; s < static_cast<StateId>(m.numStates()); ++s) {
+        State st = m.state(s);
+        st.chainReqMsg = mapId(remap, st.chainReqMsg);
+        st.deferredFwd = mapId(remap, st.deferredFwd);
+        out.addState(st);
+    }
+    out.setInitial(m.initial());
+
+    for (const auto &[key, alts] : m.table()) {
+        EventKey ev = key.second;
+        if (ev.kind == EventKey::Kind::Msg)
+            ev.type = mapId(remap, ev.type);
+        for (Transition t : alts) {
+            for (Op &op : t.ops) {
+                if (op.code == OpCode::Send)
+                    op.send.type = mapId(remap, op.send.type);
+            }
+            out.addTransition(key.first, ev, std::move(t));
+        }
+    }
+    return out;
+}
+
+SspInfo
+remapSspInfo(const SspInfo &info, const std::vector<MsgTypeId> &remap)
+{
+    SspInfo out;
+    out.invalidState = info.invalidState;
+    out.hasSilentUpgrade = info.hasSilentUpgrade;
+    out.silentUpgradeStates = info.silentUpgradeStates;
+
+    for (auto [key, path] : info.cachePaths) {
+        path.request = mapId(remap, path.request);
+        out.cachePaths[key] = path;
+    }
+    for (const auto &[id, a] : info.requestAccess)
+        out.requestAccess[mapId(remap, id)] = a;
+    for (const auto &[id, a] : info.fwdAccess)
+        out.fwdAccess[mapId(remap, id)] = a;
+    for (const auto &[id, p] : info.requestMaxPerm)
+        out.requestMaxPerm[mapId(remap, id)] = p;
+    for (const auto &[id, p] : info.requestPerm)
+        out.requestPerm[mapId(remap, id)] = p;
+    for (MsgTypeId id : info.evictionRequests)
+        out.evictionRequests.insert(mapId(remap, id));
+    for (MsgTypeId id : info.ownerEvictions)
+        out.ownerEvictions.insert(mapId(remap, id));
+    for (const auto &[put, ack] : info.evictionAckType)
+        out.evictionAckType[mapId(remap, put)] = mapId(remap, ack);
+    return out;
+}
+
+} // namespace hieragen

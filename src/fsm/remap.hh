@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Remapping of message-type ids when flat protocols are imported into
+ * a merged hierarchical message table.
+ */
+
+#ifndef HIERAGEN_FSM_REMAP_HH
+#define HIERAGEN_FSM_REMAP_HH
+
+#include <vector>
+
+#include "fsm/machine.hh"
+#include "fsm/protocol.hh"
+
+namespace hieragen
+{
+
+/** Rewrite all message-type ids in @p m through @p remap. */
+Machine remapMachineMsgs(const Machine &m,
+                         const std::vector<MsgTypeId> &remap);
+
+/** Rewrite all message-type ids in @p info through @p remap. */
+SspInfo remapSspInfo(const SspInfo &info,
+                     const std::vector<MsgTypeId> &remap);
+
+} // namespace hieragen
+
+#endif // HIERAGEN_FSM_REMAP_HH

@@ -1,0 +1,214 @@
+#include "fsm/types.hh"
+
+#include "fsm/ops.hh"
+
+namespace hieragen
+{
+
+const char *
+toString(Access a)
+{
+    switch (a) {
+      case Access::Load:
+        return "load";
+      case Access::Store:
+        return "store";
+      case Access::Evict:
+        return "evict";
+    }
+    return "?";
+}
+
+const char *
+toString(Perm p)
+{
+    switch (p) {
+      case Perm::None:
+        return "None";
+      case Perm::Read:
+        return "Read";
+      case Perm::ReadWrite:
+        return "ReadWrite";
+    }
+    return "?";
+}
+
+const char *
+toString(MsgClass c)
+{
+    switch (c) {
+      case MsgClass::Request:
+        return "Request";
+      case MsgClass::Forward:
+        return "Forward";
+      case MsgClass::Response:
+        return "Response";
+    }
+    return "?";
+}
+
+const char *
+toString(MachineRole r)
+{
+    switch (r) {
+      case MachineRole::Cache:
+        return "Cache";
+      case MachineRole::Directory:
+        return "Directory";
+      case MachineRole::DirCache:
+        return "DirCache";
+    }
+    return "?";
+}
+
+const char *
+toString(FwdEpoch e)
+{
+    switch (e) {
+      case FwdEpoch::None:
+        return "None";
+      case FwdEpoch::Past:
+        return "Past";
+      case FwdEpoch::Future:
+        return "Future";
+    }
+    return "?";
+}
+
+const char *
+toString(Level l)
+{
+    return l == Level::Lower ? "L" : "H";
+}
+
+const char *
+toString(OpCode code)
+{
+    switch (code) {
+      case OpCode::Send:
+        return "Send";
+      case OpCode::CopyDataFromMsg:
+        return "CopyDataFromMsg";
+      case OpCode::InvalidateLine:
+        return "InvalidateLine";
+      case OpCode::DoLoad:
+        return "DoLoad";
+      case OpCode::DoStore:
+        return "DoStore";
+      case OpCode::SetAcksFromMsg:
+        return "SetAcksFromMsg";
+      case OpCode::SetAcksZero:
+        return "SetAcksZero";
+      case OpCode::ResetAcks:
+        return "ResetAcks";
+      case OpCode::StashAcks:
+        return "StashAcks";
+      case OpCode::RestoreAcks:
+        return "RestoreAcks";
+      case OpCode::DecAck:
+        return "DecAck";
+      case OpCode::AddAcksFromSharersExclReq:
+        return "AddAcksFromSharersExclReq";
+      case OpCode::AddAcksFromSharersAll:
+        return "AddAcksFromSharersAll";
+      case OpCode::SaveMsgReq:
+        return "SaveMsgReq";
+      case OpCode::SaveMsgAckCount:
+        return "SaveMsgAckCount";
+      case OpCode::SaveMsgSrc:
+        return "SaveMsgSrc";
+      case OpCode::SaveLowerReq:
+        return "SaveLowerReq";
+      case OpCode::ClearSaved:
+        return "ClearSaved";
+      case OpCode::AddReqToSharers:
+        return "AddReqToSharers";
+      case OpCode::AddSavedToSharers:
+        return "AddSavedToSharers";
+      case OpCode::RemoveSavedFromSharers:
+        return "RemoveSavedFromSharers";
+      case OpCode::SetOwnerToSaved:
+        return "SetOwnerToSaved";
+      case OpCode::AddSavedLowerToSharers:
+        return "AddSavedLowerToSharers";
+      case OpCode::RemoveReqFromSharers:
+        return "RemoveReqFromSharers";
+      case OpCode::ClearSharers:
+        return "ClearSharers";
+      case OpCode::SetOwnerToReq:
+        return "SetOwnerToReq";
+      case OpCode::SetOwnerToSavedLower:
+        return "SetOwnerToSavedLower";
+      case OpCode::SetOwnerSelf:
+        return "SetOwnerSelf";
+      case OpCode::ClearOwner:
+        return "ClearOwner";
+      case OpCode::AddOwnerToSharers:
+        return "AddOwnerToSharers";
+    }
+    return "?";
+}
+
+const char *
+toString(Guard g)
+{
+    switch (g) {
+      case Guard::None:
+        return "true";
+      case Guard::AcksZero:
+        return "acks==0";
+      case Guard::AcksPending:
+        return "acks>0";
+      case Guard::IsLastAck:
+        return "lastAck";
+      case Guard::NotLastAck:
+        return "!lastAck";
+      case Guard::FromOwner:
+        return "fromOwner";
+      case Guard::NotFromOwner:
+        return "!fromOwner";
+      case Guard::LastSharer:
+        return "lastSharer";
+      case Guard::NotLastSharer:
+        return "!lastSharer";
+      case Guard::SharersEmpty:
+        return "sharers==0";
+      case Guard::SharersNotEmpty:
+        return "sharers>0";
+      case Guard::ReqIsOwner:
+        return "reqIsOwner";
+      case Guard::ReqNotOwner:
+        return "!reqIsOwner";
+      case Guard::SavedLowerIsOwner:
+        return "savedLowerIsOwner";
+      case Guard::SavedLowerNotOwner:
+        return "!savedLowerIsOwner";
+    }
+    return "?";
+}
+
+const char *
+toString(Dst d)
+{
+    switch (d) {
+      case Dst::Parent:
+        return "parent";
+      case Dst::MsgSrc:
+        return "msg.src";
+      case Dst::MsgReq:
+        return "msg.req";
+      case Dst::Saved:
+        return "saved";
+      case Dst::SavedLower:
+        return "savedLower";
+      case Dst::Owner:
+        return "owner";
+      case Dst::SharersExclReq:
+        return "sharers\\req";
+      case Dst::SharersAll:
+        return "sharers";
+    }
+    return "?";
+}
+
+} // namespace hieragen

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fundamental identifier and enum types shared by the whole library.
+ *
+ * Terminology follows the HieraGen paper and Sorin et al.'s Primer:
+ * a protocol level has core/cache nodes and one directory; hierarchical
+ * systems add the intermediate dir/cache node that is a directory to its
+ * children and a cache to its parent.
+ */
+
+#ifndef HIERAGEN_FSM_TYPES_HH
+#define HIERAGEN_FSM_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hieragen
+{
+
+/** Core-initiated accesses that drive a cache controller. */
+enum class Access : uint8_t { Load, Store, Evict };
+
+/** Data access permissions, ordered as a lattice: None < Read < RW. */
+enum class Perm : uint8_t { None, Read, ReadWrite };
+
+/** Classification of every message type. */
+enum class MsgClass : uint8_t {
+    Request,   ///< cache -> directory (vnet 0)
+    Forward,   ///< directory -> cache (vnet 1)
+    Response,  ///< data / acks / put-acks (vnet 2, never stalled)
+};
+
+/** What role a controller machine plays. */
+enum class MachineRole : uint8_t { Cache, Directory, DirCache };
+
+/**
+ * Serialization-epoch tag attached by a directory to forwarded requests.
+ *
+ * This is our realization of ProtoGen's forwarded-request renaming: the
+ * directory knows whether the destination cache's pending transaction
+ * (if any) was serialized before (Past) or after (Future) the
+ * transaction this forward belongs to, because the directory *is* the
+ * serialization point. Past-epoch forwards apply to the transient
+ * state's start state and must be handled immediately; Future-epoch
+ * forwards apply to the end state and may be stalled or deferred.
+ */
+enum class FwdEpoch : uint8_t {
+    None,    ///< destination has no racing transaction the dir knows of
+    Past,    ///< forward belongs to a transaction serialized before dst's
+    Future,  ///< forward belongs to a transaction serialized after dst's
+};
+
+/** Hierarchy level of a message type (flat protocols use Lower). */
+enum class Level : uint8_t { Lower = 0, Higher = 1 };
+
+using StateId = int32_t;
+using MsgTypeId = int32_t;
+using NodeId = int32_t;
+
+inline constexpr StateId kNoState = -1;
+inline constexpr MsgTypeId kNoMsgType = -1;
+inline constexpr NodeId kNoNode = -1;
+
+/** Max permission implied by an access. */
+inline Perm
+permForAccess(Access a)
+{
+    switch (a) {
+      case Access::Load:
+        return Perm::Read;
+      case Access::Store:
+        return Perm::ReadWrite;
+      case Access::Evict:
+        return Perm::None;
+    }
+    return Perm::None;
+}
+
+/** True if @p have satisfies @p need in the permission lattice. */
+inline bool
+permCovers(Perm have, Perm need)
+{
+    return static_cast<uint8_t>(have) >= static_cast<uint8_t>(need);
+}
+
+const char *toString(Access a);
+const char *toString(Perm p);
+const char *toString(MsgClass c);
+const char *toString(MachineRole r);
+const char *toString(FwdEpoch e);
+const char *toString(Level l);
+
+} // namespace hieragen
+
+#endif // HIERAGEN_FSM_TYPES_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Murphi backend: renders a generated protocol as a Murφ (.m) model.
+ *
+ * The paper's HieraGen emits its FSMs in the Murφ language so the
+ * model checker can verify them (Section IV). We generate a complete,
+ * self-contained model: message/record types, the network as an
+ * unordered multiset plus an ordered forwarding channel, one ruleset
+ * per controller transition, core-access rules, and the SWMR +
+ * data-value invariants.
+ */
+
+#ifndef HIERAGEN_MURPHI_EMIT_HH
+#define HIERAGEN_MURPHI_EMIT_HH
+
+#include <string>
+
+#include "fsm/protocol.hh"
+
+namespace hieragen::murphi
+{
+
+struct EmitOptions
+{
+    int numCaches = 3;     ///< flat: core/cache count
+    int numCacheH = 2;     ///< hierarchical: higher-level core/caches
+    int numCacheL = 2;     ///< hierarchical: lower-level core/caches
+    int netMax = 12;       ///< network capacity bound
+    int valueCount = 2;    ///< data-value domain size
+};
+
+/** Render a flat protocol as a Murphi model. */
+std::string emitFlat(const Protocol &p, const EmitOptions &opts = {});
+
+/** Render a hierarchical protocol as a Murphi model. */
+std::string emitHier(const HierProtocol &p, const EmitOptions &opts = {});
+
+} // namespace hieragen::murphi
+
+#endif // HIERAGEN_MURPHI_EMIT_HH

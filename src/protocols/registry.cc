@@ -1,0 +1,47 @@
+#include "protocols/registry.hh"
+
+#include "dsl/lower.hh"
+#include "protocols/texts.hh"
+#include "util/logging.hh"
+
+namespace hieragen::protocols
+{
+
+std::vector<std::string>
+builtinNames()
+{
+    return {"MI", "MSI", "MESI", "MOSI", "MOESI"};
+}
+
+const std::string &
+builtinSource(const std::string &name)
+{
+    static const std::string mi = kMiText;
+    static const std::string msi = kMsiText;
+    static const std::string mesi = kMesiText;
+    static const std::string mosi = kMosiText;
+    static const std::string moesi = kMoesiText;
+    static const std::string msi_se = kMsiSeText;
+    if (name == "MI")
+        return mi;
+    if (name == "MSI")
+        return msi;
+    if (name == "MESI")
+        return mesi;
+    if (name == "MOSI")
+        return mosi;
+    if (name == "MOESI")
+        return moesi;
+    if (name == "MSI_SE")
+        return msi_se;
+    fatal("unknown built-in protocol '", name,
+          "'; available: MI, MSI, MESI, MOSI, MOESI, MSI_SE");
+}
+
+Protocol
+builtinProtocol(const std::string &name)
+{
+    return dsl::compileProtocol(builtinSource(name));
+}
+
+} // namespace hieragen::protocols

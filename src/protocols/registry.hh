@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Built-in flat SSP library: MI, MSI, MESI, MOSI, MOESI.
+ *
+ * These are the paper's "benchmarks" (Section VIII-A): typical
+ * protocols in the style of Sorin et al.'s Primer, written in the SSP
+ * DSL without any concurrency. The DSL text is the single source of
+ * truth; builtinProtocol() compiles it on demand.
+ */
+
+#ifndef HIERAGEN_PROTOCOLS_REGISTRY_HH
+#define HIERAGEN_PROTOCOLS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "fsm/protocol.hh"
+
+namespace hieragen::protocols
+{
+
+/** Names of all built-in protocols, in complexity order. */
+std::vector<std::string> builtinNames();
+
+/** DSL source text of a built-in protocol; fatal() if unknown. */
+const std::string &builtinSource(const std::string &name);
+
+/** Compile a built-in protocol to its atomic FSMs. */
+Protocol builtinProtocol(const std::string &name);
+
+} // namespace hieragen::protocols
+
+#endif // HIERAGEN_PROTOCOLS_REGISTRY_HH

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * DSL source text constants for the built-in protocols.
+ */
+
+#ifndef HIERAGEN_PROTOCOLS_TEXTS_HH
+#define HIERAGEN_PROTOCOLS_TEXTS_HH
+
+namespace hieragen::protocols
+{
+
+extern const char *const kMiText;
+extern const char *const kMsiText;
+extern const char *const kMesiText;
+extern const char *const kMosiText;
+extern const char *const kMoesiText;
+extern const char *const kMsiSeText;
+
+} // namespace hieragen::protocols
+
+#endif // HIERAGEN_PROTOCOLS_TEXTS_HH

@@ -1,0 +1,152 @@
+#include "protocols/texts.hh"
+
+namespace hieragen::protocols
+{
+
+/**
+ * MESI: adds the Exclusive state. A GetS that finds no other copies
+ * returns ExcData; the E holder may silently upgrade to M (the
+ * compatibility hazard of paper Section V-D). Clean owners evict with
+ * PutE; silently-upgraded owners evict with PutM, which is how the
+ * directory learns a write happened.
+ */
+const char *const kMesiText = R"dsl(
+protocol MESI;
+
+message GetS    : request;
+message GetM    : request;
+message PutS    : request eviction;
+message PutE    : request eviction;
+message PutM    : request eviction data;
+message FwdGetS : forward;
+message FwdGetM : forward acks invalidating;
+message Inv     : forward invalidating;
+message Data    : response data acks;
+message ExcData : response data;
+message WBData  : response data;
+message InvAck  : response;
+message PutAck  : response;
+
+cache {
+  initial I;
+  state I perm none;
+  state S perm read;
+  state E perm read owner;
+  state M perm readwrite owner dirty;
+
+  process(I, load) {
+    send GetS to dir;
+    await {
+      when ExcData: { copydata; } -> E;
+      when Data:    { copydata; } -> S;
+    }
+  }
+  process(I, store) {
+    send GetM to dir;
+    await {
+      when Data if acks_zero: { copydata; } -> M;
+      when Data: { copydata; setacks; collect InvAck; } -> M;
+    }
+  }
+  process(S, load) { hit; }
+  process(S, store) {
+    send GetM to dir;
+    await {
+      when Data if acks_zero: { copydata; } -> M;
+      when Data: { copydata; setacks; collect InvAck; } -> M;
+    }
+  }
+  process(S, evict) {
+    send PutS to dir;
+    await { when PutAck: {} -> I; }
+  }
+  process(E, load)  { hit; }
+  process(E, store) { hit; } -> M;
+  process(E, evict) {
+    send PutE to dir;
+    await { when PutAck: {} -> I; }
+  }
+  process(M, load)  { hit; }
+  process(M, store) { hit; }
+  process(M, evict) {
+    send PutM to dir data;
+    await { when PutAck: {} -> I; }
+  }
+
+  forward(S, Inv) { send InvAck to req; } -> I;
+  forward(E, FwdGetS) {
+    send Data to req data acks zero;
+    send WBData to dir data;
+  } -> S;
+  forward(E, FwdGetM) { send Data to req data acks frommsg; } -> I;
+  forward(M, FwdGetS) {
+    send Data to req data acks zero;
+    send WBData to dir data;
+  } -> S;
+  forward(M, FwdGetM) { send Data to req data acks frommsg; } -> I;
+}
+
+directory {
+  initial I;
+  state I;
+  state S;
+  state E;
+  state M;
+
+  process(I, GetS) { send ExcData to req data; setowner; } -> E;
+  process(I, GetM) {
+    send Data to req data acks zero;
+    setowner;
+  } -> M;
+  process(S, GetS) { send Data to req data; addsharer; } -> S;
+  process(S, GetM) {
+    send Data to req data acks sharers;
+    send Inv to sharers;
+    clearsharers;
+    setowner;
+  } -> M;
+  process(S, PutS) if last_sharer {
+    send PutAck to req;
+    removesharer;
+  } -> I;
+  process(S, PutS) {
+    send PutAck to req;
+    removesharer;
+  } -> S;
+  process(E, GetS) {
+    send FwdGetS to owner;
+    await { when WBData: { copydata; } }
+    addsharer;
+    addownersharer;
+    clearowner;
+  } -> S;
+  process(E, GetM) {
+    send FwdGetM to owner acks zero;
+    setowner;
+  } -> M;
+  process(E, PutE) { send PutAck to req; clearowner; } -> I;
+  process(E, PutM) {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> I;
+  process(M, GetS) {
+    send FwdGetS to owner;
+    await { when WBData: { copydata; } }
+    addsharer;
+    addownersharer;
+    clearowner;
+  } -> S;
+  process(M, GetM) {
+    send FwdGetM to owner acks zero;
+    setowner;
+  } -> M;
+  process(M, PutM) {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> I;
+}
+)dsl";
+
+} // namespace hieragen::protocols

@@ -1,0 +1,171 @@
+#include "protocols/texts.hh"
+
+namespace hieragen::protocols
+{
+
+/**
+ * MI: the simplest directory protocol. A single valid state with
+ * read-write permission; every miss fetches an exclusive copy.
+ */
+const char *const kMiText = R"dsl(
+protocol MI;
+
+message GetM    : request;
+message PutM    : request eviction data;
+message FwdGetM : forward acks invalidating;
+message Data    : response data acks;
+message PutAck  : response;
+
+cache {
+  initial I;
+  state I perm none;
+  state M perm readwrite owner dirty;
+
+  process(I, load) {
+    send GetM to dir;
+    await { when Data: { copydata; } -> M; }
+  }
+  process(I, store) {
+    send GetM to dir;
+    await { when Data: { copydata; } -> M; }
+  }
+  process(M, load)  { hit; }
+  process(M, store) { hit; }
+  process(M, evict) {
+    send PutM to dir data;
+    await { when PutAck: {} -> I; }
+  }
+
+  forward(M, FwdGetM) { send Data to req data acks frommsg; } -> I;
+}
+
+directory {
+  initial I;
+  state I;
+  state M;
+
+  process(I, GetM) {
+    send Data to req data acks zero;
+    setowner;
+  } -> M;
+  process(M, GetM) {
+    send FwdGetM to owner acks zero;
+    setowner;
+  } -> M;
+  process(M, PutM) {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> I;
+}
+)dsl";
+
+/**
+ * MSI: the Primer's baseline directory protocol. Dirty data is written
+ * back to the directory (WBData) when an owner is downgraded to S.
+ */
+const char *const kMsiText = R"dsl(
+protocol MSI;
+
+message GetS    : request;
+message GetM    : request;
+message PutS    : request eviction;
+message PutM    : request eviction data;
+message FwdGetS : forward;
+message FwdGetM : forward acks invalidating;
+message Inv     : forward invalidating;
+message Data    : response data acks;
+message WBData  : response data;
+message InvAck  : response;
+message PutAck  : response;
+
+cache {
+  initial I;
+  state I perm none;
+  state S perm read;
+  state M perm readwrite owner dirty;
+
+  process(I, load) {
+    send GetS to dir;
+    await { when Data: { copydata; } -> S; }
+  }
+  process(I, store) {
+    send GetM to dir;
+    await {
+      when Data if acks_zero: { copydata; } -> M;
+      when Data: { copydata; setacks; collect InvAck; } -> M;
+    }
+  }
+  process(S, load) { hit; }
+  process(S, store) {
+    send GetM to dir;
+    await {
+      when Data if acks_zero: { copydata; } -> M;
+      when Data: { copydata; setacks; collect InvAck; } -> M;
+    }
+  }
+  process(S, evict) {
+    send PutS to dir;
+    await { when PutAck: {} -> I; }
+  }
+  process(M, load)  { hit; }
+  process(M, store) { hit; }
+  process(M, evict) {
+    send PutM to dir data;
+    await { when PutAck: {} -> I; }
+  }
+
+  forward(S, Inv) { send InvAck to req; } -> I;
+  forward(M, FwdGetS) {
+    send Data to req data acks zero;
+    send WBData to dir data;
+  } -> S;
+  forward(M, FwdGetM) { send Data to req data acks frommsg; } -> I;
+}
+
+directory {
+  initial I;
+  state I;
+  state S;
+  state M;
+
+  process(I, GetS) { send Data to req data; addsharer; } -> S;
+  process(I, GetM) {
+    send Data to req data acks zero;
+    setowner;
+  } -> M;
+  process(S, GetS) { send Data to req data; addsharer; } -> S;
+  process(S, GetM) {
+    send Data to req data acks sharers;
+    send Inv to sharers;
+    clearsharers;
+    setowner;
+  } -> M;
+  process(S, PutS) if last_sharer {
+    send PutAck to req;
+    removesharer;
+  } -> I;
+  process(S, PutS) {
+    send PutAck to req;
+    removesharer;
+  } -> S;
+  process(M, GetS) {
+    send FwdGetS to owner;
+    await { when WBData: { copydata; } }
+    addsharer;
+    addownersharer;
+    clearowner;
+  } -> S;
+  process(M, GetM) {
+    send FwdGetM to owner acks zero;
+    setowner;
+  } -> M;
+  process(M, PutM) {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> I;
+}
+)dsl";
+
+} // namespace hieragen::protocols

@@ -1,0 +1,178 @@
+#include "protocols/texts.hh"
+
+namespace hieragen::protocols
+{
+
+/**
+ * MOESI: the full five-state protocol, combining MESI's Exclusive
+ * (silent upgrade, PutE/PutM eviction pair) with MOSI's Owned
+ * (dirty sharing without writebacks). Owners demoted by a GetS move
+ * to O and keep supplying data.
+ */
+const char *const kMoesiText = R"dsl(
+protocol MOESI;
+
+message GetS     : request;
+message GetM     : request;
+message PutS     : request eviction;
+message PutE     : request eviction;
+message PutM     : request eviction data;
+message FwdGetS  : forward;
+message FwdGetM  : forward acks invalidating;
+message Inv      : forward invalidating;
+message Data     : response data acks;
+message ExcData  : response data;
+message AckCount : response acks;
+message InvAck   : response;
+message PutAck   : response;
+
+cache {
+  initial I;
+  state I perm none;
+  state S perm read;
+  state E perm read owner;
+  state O perm read owner dirty;
+  state M perm readwrite owner dirty;
+
+  process(I, load) {
+    send GetS to dir;
+    await {
+      when ExcData: { copydata; } -> E;
+      when Data:    { copydata; } -> S;
+    }
+  }
+  process(I, store) {
+    send GetM to dir;
+    await {
+      when Data if acks_zero: { copydata; } -> M;
+      when Data: { copydata; setacks; collect InvAck; } -> M;
+    }
+  }
+  process(S, load) { hit; }
+  process(S, store) {
+    send GetM to dir;
+    await {
+      when Data if acks_zero: { copydata; } -> M;
+      when Data: { copydata; setacks; collect InvAck; } -> M;
+    }
+  }
+  process(S, evict) {
+    send PutS to dir;
+    await { when PutAck: {} -> I; }
+  }
+  process(E, load)  { hit; }
+  process(E, store) { hit; } -> M;
+  process(E, evict) {
+    send PutE to dir;
+    await { when PutAck: {} -> I; }
+  }
+  process(O, load) { hit; }
+  process(O, store) {
+    send GetM to dir;
+    await {
+      when AckCount if acks_zero: {} -> M;
+      when AckCount: { setacks; collect InvAck; } -> M;
+    }
+  }
+  process(O, evict) {
+    send PutM to dir data;
+    await { when PutAck: {} -> I; }
+  }
+  process(M, load)  { hit; }
+  process(M, store) { hit; }
+  process(M, evict) {
+    send PutM to dir data;
+    await { when PutAck: {} -> I; }
+  }
+
+  forward(S, Inv) { send InvAck to req; } -> I;
+  forward(E, FwdGetS) { send Data to req data acks zero; } -> O;
+  forward(E, FwdGetM) { send Data to req data acks frommsg; } -> I;
+  forward(O, FwdGetS) { send Data to req data acks zero; } -> O;
+  forward(O, FwdGetM) { send Data to req data acks frommsg; } -> I;
+  forward(M, FwdGetS) { send Data to req data acks zero; } -> O;
+  forward(M, FwdGetM) { send Data to req data acks frommsg; } -> I;
+}
+
+directory {
+  initial I;
+  state I;
+  state S;
+  state E;
+  state O;
+  state M;
+
+  process(I, GetS) { send ExcData to req data; setowner; } -> E;
+  process(S, GetS) { send Data to req data; addsharer; } -> S;
+  process(E, GetS) { send FwdGetS to owner; addsharer; } -> O;
+  process(O, GetS) { send FwdGetS to owner; addsharer; } -> O;
+  process(M, GetS) { send FwdGetS to owner; addsharer; } -> O;
+
+  process(I, GetM) {
+    send Data to req data acks zero;
+    setowner;
+  } -> M;
+  process(S, GetM) {
+    send Data to req data acks sharers;
+    send Inv to sharers;
+    clearsharers;
+    setowner;
+  } -> M;
+  process(E, GetM) {
+    send FwdGetM to owner acks zero;
+    setowner;
+  } -> M;
+  process(O, GetM) if req_is_owner {
+    send AckCount to req acks sharers;
+    send Inv to sharers;
+    clearsharers;
+  } -> M;
+  process(O, GetM) {
+    send FwdGetM to owner acks sharers;
+    send Inv to sharers;
+    clearsharers;
+    setowner;
+  } -> M;
+  process(M, GetM) {
+    send FwdGetM to owner acks zero;
+    setowner;
+  } -> M;
+
+  process(S, PutS) if last_sharer {
+    send PutAck to req;
+    removesharer;
+  } -> I;
+  process(S, PutS) {
+    send PutAck to req;
+    removesharer;
+  } -> S;
+  process(O, PutS) {
+    send PutAck to req;
+    removesharer;
+  } -> O;
+
+  process(E, PutE) { send PutAck to req; clearowner; } -> I;
+  process(E, PutM) {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> I;
+  process(O, PutM) if sharers_empty {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> I;
+  process(O, PutM) {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> S;
+  process(M, PutM) {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> I;
+}
+)dsl";
+
+} // namespace hieragen::protocols

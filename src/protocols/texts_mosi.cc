@@ -1,0 +1,152 @@
+#include "protocols/texts.hh"
+
+namespace hieragen::protocols
+{
+
+/**
+ * MOSI: adds the Owned state. A modified owner downgraded by a GetS
+ * keeps the (dirty) block and keeps supplying data, avoiding the
+ * writeback to the directory. Upgrades from O receive an AckCount
+ * response (the requestor already has the data).
+ */
+const char *const kMosiText = R"dsl(
+protocol MOSI;
+
+message GetS     : request;
+message GetM     : request;
+message PutS     : request eviction;
+message PutM     : request eviction data;
+message FwdGetS  : forward;
+message FwdGetM  : forward acks invalidating;
+message Inv      : forward invalidating;
+message Data     : response data acks;
+message AckCount : response acks;
+message InvAck   : response;
+message PutAck   : response;
+
+cache {
+  initial I;
+  state I perm none;
+  state S perm read;
+  state O perm read owner dirty;
+  state M perm readwrite owner dirty;
+
+  process(I, load) {
+    send GetS to dir;
+    await { when Data: { copydata; } -> S; }
+  }
+  process(I, store) {
+    send GetM to dir;
+    await {
+      when Data if acks_zero: { copydata; } -> M;
+      when Data: { copydata; setacks; collect InvAck; } -> M;
+    }
+  }
+  process(S, load) { hit; }
+  process(S, store) {
+    send GetM to dir;
+    await {
+      when Data if acks_zero: { copydata; } -> M;
+      when Data: { copydata; setacks; collect InvAck; } -> M;
+    }
+  }
+  process(S, evict) {
+    send PutS to dir;
+    await { when PutAck: {} -> I; }
+  }
+  process(O, load) { hit; }
+  process(O, store) {
+    send GetM to dir;
+    await {
+      when AckCount if acks_zero: {} -> M;
+      when AckCount: { setacks; collect InvAck; } -> M;
+    }
+  }
+  process(O, evict) {
+    send PutM to dir data;
+    await { when PutAck: {} -> I; }
+  }
+  process(M, load)  { hit; }
+  process(M, store) { hit; }
+  process(M, evict) {
+    send PutM to dir data;
+    await { when PutAck: {} -> I; }
+  }
+
+  forward(S, Inv) { send InvAck to req; } -> I;
+  forward(O, FwdGetS) { send Data to req data acks zero; } -> O;
+  forward(O, FwdGetM) { send Data to req data acks frommsg; } -> I;
+  forward(M, FwdGetS) { send Data to req data acks zero; } -> O;
+  forward(M, FwdGetM) { send Data to req data acks frommsg; } -> I;
+}
+
+directory {
+  initial I;
+  state I;
+  state S;
+  state O;
+  state M;
+
+  process(I, GetS) { send Data to req data; addsharer; } -> S;
+  process(S, GetS) { send Data to req data; addsharer; } -> S;
+  process(O, GetS) { send FwdGetS to owner; addsharer; } -> O;
+  process(M, GetS) { send FwdGetS to owner; addsharer; } -> O;
+
+  process(I, GetM) {
+    send Data to req data acks zero;
+    setowner;
+  } -> M;
+  process(S, GetM) {
+    send Data to req data acks sharers;
+    send Inv to sharers;
+    clearsharers;
+    setowner;
+  } -> M;
+  process(O, GetM) if req_is_owner {
+    send AckCount to req acks sharers;
+    send Inv to sharers;
+    clearsharers;
+  } -> M;
+  process(O, GetM) {
+    send FwdGetM to owner acks sharers;
+    send Inv to sharers;
+    clearsharers;
+    setowner;
+  } -> M;
+  process(M, GetM) {
+    send FwdGetM to owner acks zero;
+    setowner;
+  } -> M;
+
+  process(S, PutS) if last_sharer {
+    send PutAck to req;
+    removesharer;
+  } -> I;
+  process(S, PutS) {
+    send PutAck to req;
+    removesharer;
+  } -> S;
+  process(O, PutS) {
+    send PutAck to req;
+    removesharer;
+  } -> O;
+
+  process(O, PutM) if sharers_empty {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> I;
+  process(O, PutM) {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> S;
+  process(M, PutM) {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> I;
+}
+)dsl";
+
+} // namespace hieragen::protocols

@@ -1,0 +1,115 @@
+#include "protocols/texts.hh"
+
+namespace hieragen::protocols
+{
+
+/**
+ * MSI-SE: MSI with *silent eviction* of read-only blocks — the paper's
+ * Section VII-B relaxation (incomplete directory knowledge). A sharer
+ * drops its S copy without telling the directory; the directory's
+ * sharer list may therefore be stale, so:
+ *
+ *  - caches in I acknowledge stray invalidations (the directory may
+ *    still think they are sharers), and
+ *  - the directory never sees PutS, so S never collapses to I until a
+ *    write invalidates the (possibly stale) sharer set.
+ *
+ * This is handled entirely in the input SSP, exactly as Section VII-B
+ * argues: HieraGen composes it unchanged.
+ */
+const char *const kMsiSeText = R"dsl(
+protocol MSI_SE;
+
+message GetS    : request;
+message GetM    : request;
+message PutM    : request eviction data;
+message FwdGetS : forward;
+message FwdGetM : forward acks invalidating;
+message Inv     : forward invalidating;
+message Data    : response data acks;
+message WBData  : response data;
+message InvAck  : response;
+message PutAck  : response;
+
+cache {
+  initial I;
+  state I perm none;
+  state S perm read;
+  state M perm readwrite owner dirty;
+
+  process(I, load) {
+    send GetS to dir;
+    await { when Data: { copydata; } -> S; }
+  }
+  process(I, store) {
+    send GetM to dir;
+    await {
+      when Data if acks_zero: { copydata; } -> M;
+      when Data: { copydata; setacks; collect InvAck; } -> M;
+    }
+  }
+  process(S, load) { hit; }
+  process(S, store) {
+    send GetM to dir;
+    await {
+      when Data if acks_zero: { copydata; } -> M;
+      when Data: { copydata; setacks; collect InvAck; } -> M;
+    }
+  }
+  process(S, evict) { invalidate; } -> I;
+  process(M, load)  { hit; }
+  process(M, store) { hit; }
+  process(M, evict) {
+    send PutM to dir data;
+    await { when PutAck: {} -> I; }
+  }
+
+  forward(S, Inv) { send InvAck to req; } -> I;
+  # Silent eviction left the directory with a stale sharer entry; a
+  # stray invalidation still gets its acknowledgment.
+  forward(I, Inv) { send InvAck to req; } -> I;
+  forward(M, FwdGetS) {
+    send Data to req data acks zero;
+    send WBData to dir data;
+  } -> S;
+  forward(M, FwdGetM) { send Data to req data acks frommsg; } -> I;
+}
+
+directory {
+  initial I;
+  state I;
+  state S;
+  state M;
+
+  process(I, GetS) { send Data to req data; addsharer; } -> S;
+  process(I, GetM) {
+    send Data to req data acks zero;
+    setowner;
+  } -> M;
+  process(S, GetS) { send Data to req data; addsharer; } -> S;
+  process(S, GetM) {
+    send Data to req data acks sharers;
+    send Inv to sharers;
+    clearsharers;
+    setowner;
+  } -> M;
+  process(M, GetS) {
+    send FwdGetS to owner;
+    await { when WBData: { copydata; } }
+    addsharer;
+    addownersharer;
+    clearowner;
+  } -> S;
+  process(M, GetM) {
+    send FwdGetM to owner acks zero;
+    setowner;
+  } -> M;
+  process(M, PutM) {
+    copydata;
+    send PutAck to req;
+    clearowner;
+  } -> I;
+}
+)dsl";
+
+} // namespace hieragen::protocols

@@ -1,0 +1,843 @@
+#include "protogen/concurrent.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace hieragen::protogen
+{
+
+namespace
+{
+
+/**
+ * A directory state is "owner-stable" (O-like) when the tracked owner
+ * can still send it permission-upgrading requests, i.e. the owner's
+ * granting transaction closed long ago. Derivable signature: the state
+ * has a request handler guarded on ReqIsOwner. Forwards sent from such
+ * states target an owner whose own pending transaction (if any) has
+ * NOT been serialized yet -> epoch Past. Forwards sent from M/E-like
+ * states target a pending/settled grantee -> epoch Future.
+ */
+std::set<StateId>
+findOwnerStableStates(const Machine &dir)
+{
+    std::set<StateId> o_like;
+    for (StateId s = 0; s < static_cast<StateId>(dir.numStates());
+         ++s) {
+        if (dir.state(s).ownerStablePart)
+            o_like.insert(s);
+    }
+    for (const auto &[key, alts] : dir.table()) {
+        for (const auto &t : alts) {
+            if (t.guard == Guard::ReqIsOwner)
+                o_like.insert(key.first);
+        }
+    }
+    return o_like;
+}
+
+/** All transients of the chain starting at (start, access), by phase. */
+std::vector<StateId>
+chainOf(const Machine &cache, StateId start, Access access)
+{
+    std::vector<StateId> chain;
+    for (StateId s = 0; s < static_cast<StateId>(cache.numStates());
+         ++s) {
+        const State &st = cache.state(s);
+        if (!st.stable && st.hasChain && st.startStable == start &&
+            st.chainAccess == access) {
+            chain.push_back(s);
+        }
+    }
+    std::sort(chain.begin(), chain.end(),
+              [&](StateId a, StateId b) {
+                  return cache.state(a).chainPhase <
+                         cache.state(b).chainPhase;
+              });
+    return chain;
+}
+
+/** True if state @p d's handlers consult a tracked owner (forwards
+ *  to it, guards on it, or folds it into the sharer set). */
+bool
+tracksOwner(const Machine &dir, StateId d)
+{
+    for (const auto &[key, alts] : dir.table()) {
+        if (key.first != d)
+            continue;
+        for (const auto &t : alts) {
+            if (t.guard == Guard::FromOwner ||
+                t.guard == Guard::ReqIsOwner ||
+                t.guard2 == Guard::FromOwner ||
+                t.guard2 == Guard::ReqIsOwner) {
+                return true;
+            }
+            for (const Op &op : t.ops) {
+                if (op.code == OpCode::Send &&
+                    op.send.dst == Dst::Owner) {
+                    return true;
+                }
+                if (op.code == OpCode::AddOwnerToSharers)
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+/** The single forward handler of (state, f); nullptr if none. */
+const Transition *
+fwdHandler(const Machine &cache, StateId state, MsgTypeId f)
+{
+    const auto *alts =
+        cache.transitionsFor(state, EventKey::mkMsg(f));
+    if (!alts || alts->empty())
+        return nullptr;
+    return &alts->front();
+}
+
+/** Rewrite a deferred forward handler's ops: the triggering message is
+ *  no longer the forward, so requestor-relative fields change. */
+OpList
+rewriteDeferredOps(const OpList &ops)
+{
+    OpList out = ops;
+    for (Op &op : out) {
+        if (op.code != OpCode::Send)
+            continue;
+        if (op.send.dst == Dst::MsgReq)
+            op.send.dst = Dst::Saved;
+        if (op.send.reqField == ReqField::MsgReq)
+            op.send.reqField = ReqField::Saved;
+        // Deferred (Future-epoch) forwards always carry a zero ack
+        // count: they are only sent to pending owners, from directory
+        // states with no sharers.
+        if (op.send.acks == AckPayload::FromMsg)
+            op.send.acks = AckPayload::Zero;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+concurrentizeDirectory(Machine &dir, const MsgTypeTable &msgs,
+                       const SspInfo &info, Level level,
+                       ConcurrencyStats &stats)
+{
+    std::set<StateId> o_like = findOwnerStableStates(dir);
+
+    // 1. Stamp serialization epochs onto forwarded requests.
+    for (auto &[key, alts] : dir.tableMutable()) {
+        StateId from = key.first;
+        for (auto &t : alts) {
+            for (Op &op : t.ops) {
+                if (op.code != OpCode::Send ||
+                    msgs[op.send.type].cls != MsgClass::Forward) {
+                    continue;
+                }
+                if (op.send.epoch != FwdEpoch::None)
+                    continue;  // stamped explicitly by the generator
+                if (op.send.dst == Dst::Owner) {
+                    op.send.epoch = o_like.count(from)
+                                        ? FwdEpoch::Past
+                                        : FwdEpoch::Future;
+                } else {
+                    // Invalidations to sharers: a sharer's pending
+                    // request cannot have been serialized (it would no
+                    // longer be a sharer).
+                    op.send.epoch = FwdEpoch::Past;
+                }
+            }
+        }
+    }
+
+    // 2. Stale-eviction rules (the "PutM from NonOwner" family).
+    for (MsgTypeId pe : info.evictionRequests) {
+        if (msgs[pe].level != level)
+            continue;
+        auto ack_it = info.evictionAckType.find(pe);
+        if (ack_it == info.evictionAckType.end())
+            continue;
+        MsgTypeId put_ack = ack_it->second;
+        bool owner_class = info.ownerEvictions.count(pe) > 0;
+
+        for (StateId d = 0;
+             d < static_cast<StateId>(dir.numStates()); ++d) {
+            if (!dir.state(d).stable)
+                continue;
+            EventKey ev = EventKey::mkMsg(pe);
+            Transition stale;
+            stale.ops = {Op::mk(OpCode::RemoveReqFromSharers),
+                         Op::mkSend(put_ack, Dst::MsgSrc)};
+            stale.next = d;
+
+            auto *alts = dir.transitionsForMutable(d, ev);
+            bool owner_tracked = tracksOwner(dir, d);
+            if (!alts && owner_class) {
+                // The evictor may have been demoted to another owner
+                // state in the meantime (e.g. E -> O by a FwdGetS);
+                // its Put must then be treated as that state's owner
+                // eviction. Re-base onto a sibling owner-eviction
+                // handler, dropping the data copy if this Put carries
+                // none (a data-less Put implies the copy was clean).
+                const std::vector<Transition> *sibling = nullptr;
+                if (owner_tracked) {
+                    for (MsgTypeId pe2 : info.ownerEvictions) {
+                        if (pe2 == pe || msgs[pe2].level != level)
+                            continue;
+                        sibling =
+                            dir.transitionsFor(d, EventKey::mkMsg(pe2));
+                        if (sibling)
+                            break;
+                    }
+                }
+                if (sibling) {
+                    std::vector<Transition> list;
+                    Transition stale2 = stale;
+                    stale2.guard = Guard::NotFromOwner;
+                    list.push_back(std::move(stale2));
+                    for (const Transition &orig : *sibling) {
+                        if (orig.kind != TransKind::Execute ||
+                            orig.guard == Guard::NotFromOwner) {
+                            continue;
+                        }
+                        Transition re = orig;
+                        if (!msgs[pe].carriesData) {
+                            re.ops.erase(
+                                std::remove_if(
+                                    re.ops.begin(), re.ops.end(),
+                                    [](const Op &op) {
+                                        return op.code ==
+                                               OpCode::CopyDataFromMsg;
+                                    }),
+                                re.ops.end());
+                        }
+                        list.push_back(std::move(re));
+                    }
+                    dir.setTransitions(d, ev, std::move(list));
+                    ++stats.staleEvictionRules;
+                    continue;
+                }
+                // A sharer-tracking state instead mirrors its PutS-like
+                // handler: the stale evictor was demoted to a sharer,
+                // and removing the last one must leave the state (else
+                // an S with zero sharers starves later ack counts).
+                const std::vector<Transition> *sharer_sib = nullptr;
+                for (MsgTypeId pe2 : info.evictionRequests) {
+                    if (info.ownerEvictions.count(pe2) ||
+                        msgs[pe2].level != level) {
+                        continue;
+                    }
+                    sharer_sib =
+                        dir.transitionsFor(d, EventKey::mkMsg(pe2));
+                    if (sharer_sib)
+                        break;
+                }
+                if (sharer_sib) {
+                    std::vector<Transition> list;
+                    for (const Transition &orig : *sharer_sib) {
+                        if (orig.kind != TransKind::Execute)
+                            continue;
+                        Transition re;
+                        re.guard = orig.guard;
+                        re.guard2 = orig.guard2;
+                        re.ops = {Op::mk(OpCode::RemoveReqFromSharers),
+                                  Op::mkSend(put_ack, Dst::MsgSrc)};
+                        re.next = orig.next;
+                        list.push_back(std::move(re));
+                    }
+                    dir.setTransitions(d, ev, std::move(list));
+                    ++stats.staleEvictionRules;
+                    continue;
+                }
+            }
+            if (!alts) {
+                dir.addTransition(d, ev, std::move(stale));
+                ++stats.staleEvictionRules;
+            } else if (owner_class) {
+                // The SSP handler is only legitimate from the tracked
+                // owner; anything else is a stale eviction.
+                stale.guard = Guard::NotFromOwner;
+                alts->insert(alts->begin(), std::move(stale));
+                ++stats.staleEvictionRules;
+            }
+            // Sharer-class evictions (PutS) with an existing handler
+            // already ack-and-remove regardless of staleness.
+        }
+    }
+
+    // 3. Directory transient states stall racing requests. The window
+    // is bounded: it closes when the awaited response arrives, and
+    // that response is produced by a Past-epoch forward the target
+    // cache must handle immediately.
+    for (StateId d = 0; d < static_cast<StateId>(dir.numStates());
+         ++d) {
+        if (dir.state(d).stable)
+            continue;
+        for (size_t ti = 0; ti < msgs.size(); ++ti) {
+            MsgTypeId r = static_cast<MsgTypeId>(ti);
+            if (msgs[r].cls != MsgClass::Request ||
+                msgs[r].level != level) {
+                continue;
+            }
+            EventKey ev = EventKey::mkMsg(r);
+            if (dir.hasTransition(d, ev))
+                continue;
+            Transition st;
+            st.kind = TransKind::Stall;
+            st.next = d;
+            dir.addTransition(d, ev, std::move(st));
+            ++stats.dirStallTransitions;
+        }
+    }
+}
+
+namespace
+{
+
+/**
+ * Build the "ack-then-demote" copy of the chain containing @p t for
+ * forward @p f (the silent-eviction ambiguity): the ack has already
+ * been sent on entry; chain completions additionally apply the end
+ * state's handler for f with its sends stripped (serve the pending
+ * access once, then drop the line).
+ */
+StateId
+ackDemoteCopy(Machine &cache, const MsgTypeTable &msgs, StateId t,
+              MsgTypeId f, ConcurrencyStats &stats)
+{
+    std::string name =
+        cache.state(t).name + "_ad_" + msgs[f].name;
+    StateId existing = cache.findState(name);
+    if (existing != kNoState)
+        return existing;
+
+    State cs = cache.state(t);
+    cs.name = name;
+    cs.hasChain = false;
+    StateId id = cache.addState(cs);
+    ++stats.futureDeferStates;
+
+    std::vector<std::pair<EventKey, std::vector<Transition>>> rows;
+    for (const auto &[key, alts] : cache.table()) {
+        if (key.first == t)
+            rows.push_back({key.second, alts});
+    }
+    for (const auto &[ev, alts] : rows) {
+        if (ev.kind == EventKey::Kind::Msg &&
+            (ev.epoch != FwdEpoch::None ||
+             msgs[ev.type].cls == MsgClass::Forward)) {
+            continue;  // race rules handled below / stalled
+        }
+        for (const Transition &orig : alts) {
+            if (orig.kind != TransKind::Execute)
+                continue;
+            Transition nt;
+            nt.guard = orig.guard;
+            nt.guard2 = orig.guard2;
+            nt.ops = orig.ops;
+            if (orig.next != kNoState &&
+                cache.state(orig.next).stable) {
+                const Transition *h =
+                    fwdHandler(cache, orig.next, f);
+                if (!h)
+                    continue;  // impossible end for this forward
+                for (const Op &op : h->ops) {
+                    if (op.code != OpCode::Send)
+                        nt.ops.push_back(op);
+                }
+                nt.next = h->next == kNoState ? orig.next : h->next;
+            } else if (orig.next != kNoState && orig.next != t) {
+                nt.next = ackDemoteCopy(cache, msgs, orig.next, f,
+                                        stats);
+            } else {
+                nt.next = id;
+            }
+            cache.addTransition(id, ev, std::move(nt));
+        }
+    }
+    // Further racing forwards wait out the window.
+    for (size_t ti = 0; ti < msgs.size(); ++ti) {
+        MsgTypeId g = static_cast<MsgTypeId>(ti);
+        if (msgs[g].cls != MsgClass::Forward)
+            continue;
+        EventKey ev = EventKey::mkMsg(g);
+        if (cache.hasTransition(id, ev))
+            continue;
+        Transition st2;
+        st2.kind = TransKind::Stall;
+        st2.next = id;
+        cache.addTransition(id, ev, std::move(st2));
+    }
+    return id;
+}
+
+} // namespace
+
+
+namespace
+{
+
+/**
+ * The II^A-style drop state: an eviction whose chain was re-based onto
+ * @p demoted with nothing left to send. Absorbs the pending eviction
+ * ack (completing as the demoted state's own eviction would, which may
+ * be silent), and keeps honoring the demoted state's forward handlers
+ * (further demotions chain recursively).
+ */
+StateId
+evictDropState(Machine &cache, const MsgTypeTable &msgs,
+               StateId resp_source, StateId demoted,
+               ConcurrencyStats &stats)
+{
+    OpList done_ops = {Op::mk(OpCode::InvalidateLine)};
+    StateId after = demoted;
+    const auto *hit_alts = cache.transitionsFor(
+        demoted, EventKey::mkAccess(Access::Evict));
+    if (hit_alts && !hit_alts->empty()) {
+        const Transition &hit = hit_alts->front();
+        if (hit.next == kNoState || cache.state(hit.next).stable) {
+            done_ops = hit.ops;
+            after = hit.next == kNoState ? demoted : hit.next;
+        }
+    }
+    std::string name = cache.state(demoted).name + "_" +
+                       cache.state(resp_source).name + "_drop";
+    StateId id = cache.findState(name);
+    if (id != kNoState)
+        return id;
+    State drop;
+    drop.name = name;
+    drop.stable = false;
+    drop.perm = Perm::None;
+    drop.startStable = demoted;
+    drop.endStable = after;
+    id = cache.addState(drop);
+    ++stats.pastRaceTransitions;
+
+    // Absorb the eviction ack.
+    std::vector<MsgTypeId> resp_types;
+    for (const auto &[key, alts] : cache.table()) {
+        if (key.first != resp_source ||
+            key.second.kind != EventKey::Kind::Msg ||
+            msgs[key.second.type].cls != MsgClass::Response) {
+            continue;
+        }
+        resp_types.push_back(key.second.type);
+    }
+    for (MsgTypeId rt : resp_types) {
+        Transition done;
+        done.ops = done_ops;
+        done.next = after;
+        cache.addTransition(id, EventKey::mkMsg(rt), std::move(done));
+    }
+
+    // Forward handlers of the demoted state still apply while the ack
+    // is outstanding (e.g. the demoted sharer gets invalidated).
+    std::vector<std::pair<MsgTypeId, Transition>> fwd_rows;
+    for (const auto &[key, alts] : cache.table()) {
+        if (key.first != demoted ||
+            key.second.kind != EventKey::Kind::Msg ||
+            msgs[key.second.type].cls != MsgClass::Forward ||
+            alts.empty()) {
+            continue;
+        }
+        fwd_rows.push_back({key.second.type, alts.front()});
+    }
+    for (auto &[ft, h] : fwd_rows) {
+        Transition race;
+        race.ops = h.ops;
+        StateId next_demoted = h.next == kNoState ? demoted : h.next;
+        race.next = next_demoted == demoted
+                        ? id
+                        : evictDropState(cache, msgs, resp_source,
+                                         next_demoted, stats);
+        cache.addTransition(id, EventKey::mkMsg(ft), std::move(race));
+    }
+    return id;
+}
+
+} // namespace
+
+void
+concurrentizeCache(Machine &cache, const MsgTypeTable &msgs,
+                   const SspInfo &info, Level level,
+                   ConcurrencyMode mode, ConcurrencyStats &stats)
+{
+    HG_ASSERT(mode != ConcurrencyMode::Atomic,
+              "concurrentizeCache needs a concurrency mode");
+    (void)info;  // semantic facts are re-derived from the machine
+
+    // Snapshot transients before this pass adds deferral copies.
+    std::vector<StateId> base_transients;
+    for (StateId s = 0; s < static_cast<StateId>(cache.numStates());
+         ++s) {
+        if (!cache.state(s).stable && cache.state(s).hasChain)
+            base_transients.push_back(s);
+    }
+
+    std::vector<MsgTypeId> fwds;
+    for (size_t ti = 0; ti < msgs.size(); ++ti) {
+        if (msgs[ti].cls == MsgClass::Forward &&
+            msgs[ti].level == level) {
+            fwds.push_back(static_cast<MsgTypeId>(ti));
+        }
+    }
+
+    // Chains where a forward got the ack-then-demote treatment (the
+    // silent-eviction ambiguity); the Future pass skips those.
+    std::set<std::pair<StateId, MsgTypeId>> ack_demoted;
+
+    // --- Past-epoch races: must-handle demotions (re-basing). ---
+    // Past forwards were *sent* before our request was serialized but
+    // may be *delivered* at any later phase (e.g. a fire-and-forget
+    // FwdGetS in MOSI), so every chain phase gets the rule.
+    for (StateId t : base_transients) {
+        const State st = cache.state(t);  // copy: vector may grow
+        for (MsgTypeId f : fwds) {
+            const Transition *h = fwdHandler(cache, st.startStable, f);
+            if (!h)
+                continue;
+
+            // Silent-eviction ambiguity: when the *invalid* start
+            // state itself handles f (a stray-invalidation ack), the
+            // directory cannot tag the epoch reliably -- the target
+            // may be a stale sharer (must ack now) or a pending
+            // requestor (must demote at completion). The sound single
+            // behavior: ack immediately, then serve the access once
+            // and apply the end state's demotion without re-acking.
+            if (cache.state(st.startStable).perm == Perm::None &&
+                st.chainAccess != Access::Evict) {
+                bool end_handles_f = false;
+                for (StateId e : st.endCandidates) {
+                    end_handles_f =
+                        end_handles_f || fwdHandler(cache, e, f);
+                }
+                if (end_handles_f) {
+                    ack_demoted.insert({t, f});
+                    Transition race;
+                    race.ops = h->ops;  // the immediate ack
+                    race.next =
+                        ackDemoteCopy(cache, msgs, t, f, stats);
+                    cache.addTransition(t, EventKey::mkMsg(f),
+                                        std::move(race));
+                    ++stats.pastRaceTransitions;
+                    continue;
+                }
+            }
+            bool end_handles = false;
+            for (StateId e : st.endCandidates)
+                end_handles = end_handles || fwdHandler(cache, e, f);
+
+            StateId demoted_start = h->next == kNoState
+                                        ? st.startStable
+                                        : h->next;
+            StateId target = kNoState;
+            if (demoted_start == st.startStable) {
+                target = t;  // e.g. O + FwdGetS keeps O: same chain
+            } else {
+                std::vector<StateId> rebased =
+                    chainOf(cache, demoted_start, st.chainAccess);
+                if (static_cast<size_t>(st.chainPhase) <
+                    rebased.size()) {
+                    target = rebased[st.chainPhase];
+                } else if (st.chainAccess == Access::Evict) {
+                    target = evictDropState(cache, msgs, t,
+                                            demoted_start, stats);
+                } else {
+                    warn("cannot re-base chain of ", st.name, " on ",
+                         msgs.displayName(f), "; skipping");
+                    continue;
+                }
+            }
+
+            FwdEpoch key_epoch =
+                end_handles ? FwdEpoch::Past : FwdEpoch::None;
+            Transition race;
+            race.ops = h->ops;
+            race.next = target;
+            cache.addTransition(t, EventKey::mkMsg(f, key_epoch),
+                                std::move(race));
+            ++stats.pastRaceTransitions;
+        }
+    }
+
+    // --- Future-epoch races: stall or defer. ---
+    // Group chains so deferral copies thread whole chains.
+    std::map<std::pair<StateId, Access>, std::vector<StateId>> chains;
+    for (StateId t : base_transients) {
+        const State &st = cache.state(t);
+        chains[{st.startStable, st.chainAccess}].push_back(t);
+    }
+    for (auto &[key, chain] : chains) {
+        std::sort(chain.begin(), chain.end(), [&](StateId a, StateId b) {
+            return cache.state(a).chainPhase < cache.state(b).chainPhase;
+        });
+    }
+
+    for (const auto &[ck, chain] : chains) {
+        // End candidates are shared chain-wide. Copy: adding deferral
+        // states below reallocates the state vector.
+        const State first = cache.state(chain.front());
+        for (MsgTypeId f : fwds) {
+            bool end_handles = false;
+            for (StateId e : first.endCandidates)
+                end_handles = end_handles || fwdHandler(cache, e, f);
+            if (!end_handles)
+                continue;
+            bool demoted = false;
+            for (StateId t : chain)
+                demoted = demoted || ack_demoted.count({t, f});
+            if (demoted)
+                continue;  // already handled (ack-then-demote)
+            bool start_handles =
+                fwdHandler(cache, first.startStable, f) != nullptr;
+            FwdEpoch key_epoch =
+                start_handles ? FwdEpoch::Future : FwdEpoch::None;
+
+            if (mode == ConcurrencyMode::Stalling) {
+                for (StateId t : chain) {
+                    EventKey ev = EventKey::mkMsg(f, key_epoch);
+                    if (cache.hasTransition(t, ev))
+                        continue;
+                    Transition st;
+                    st.kind = TransKind::Stall;
+                    st.next = t;
+                    cache.addTransition(t, ev, std::move(st));
+                    ++stats.futureStallTransitions;
+                }
+                continue;
+            }
+
+            // Non-stalling: build the deferred copy of the chain.
+            std::map<StateId, StateId> copy_of;
+            for (StateId t : chain) {
+                State cs = cache.state(t);
+                cs.name = cache.state(t).name + "_df_" + msgs[f].name;
+                cs.hasChain = false;
+                cs.deferredFwd = f;
+                copy_of[t] = cache.addState(cs);
+                ++stats.futureDeferStates;
+            }
+            for (StateId t : chain) {
+                StateId tc = copy_of[t];
+                // Replicate t's atomic transitions into the copy.
+                std::vector<std::pair<EventKey,
+                                      std::vector<Transition>>> rows;
+                for (const auto &[key, alts] : cache.table()) {
+                    if (key.first == t)
+                        rows.push_back({key.second, alts});
+                }
+                for (const auto &[ev, alts] : rows) {
+                    if (ev.kind == EventKey::Kind::Msg &&
+                        ev.epoch != FwdEpoch::None) {
+                        continue;  // race rules don't carry over
+                    }
+                    if (ev.kind == EventKey::Kind::Msg &&
+                        msgs[ev.type].cls == MsgClass::Forward) {
+                        continue;  // handled below (partial stall)
+                    }
+                    for (const Transition &orig : alts) {
+                        if (orig.kind != TransKind::Execute)
+                            continue;
+                        Transition nt;
+                        nt.guard = orig.guard;
+                        nt.guard2 = orig.guard2;
+                        nt.ops = orig.ops;
+                        nt.next = orig.next;
+                        auto it = copy_of.find(orig.next);
+                        if (it != copy_of.end()) {
+                            nt.next = it->second;
+                        } else if (orig.next != kNoState &&
+                                   cache.state(orig.next).stable) {
+                            // Chain completion: apply the deferred
+                            // forward against the end state.
+                            const Transition *h =
+                                fwdHandler(cache, orig.next, f);
+                            if (!h)
+                                continue;  // impossible end for f
+                            OpList extra = rewriteDeferredOps(h->ops);
+                            nt.ops.insert(nt.ops.end(), extra.begin(),
+                                          extra.end());
+                            nt.next = h->next == kNoState ? orig.next
+                                                          : h->next;
+                        }
+                        cache.addTransition(tc, ev, std::move(nt));
+                    }
+                }
+                // Further racing forwards while one is deferred: the
+                // TBE holds one deferred entry, so stall the rest.
+                for (MsgTypeId g : fwds) {
+                    EventKey ev = EventKey::mkMsg(g);
+                    if (cache.hasTransition(tc, ev))
+                        continue;
+                    Transition st;
+                    st.kind = TransKind::Stall;
+                    st.next = tc;
+                    cache.addTransition(tc, ev, std::move(st));
+                }
+                // Entry point: defer f and move into the copy.
+                Transition defer;
+                defer.ops = {Op::mk(OpCode::SaveMsgReq)};
+                defer.next = tc;
+                cache.addTransition(t, EventKey::mkMsg(f, key_epoch),
+                                    std::move(defer));
+            }
+        }
+    }
+}
+
+Protocol
+makeConcurrent(const Protocol &atomic, const ConcurrencyOptions &opts,
+               ConcurrencyStats *stats)
+{
+    ConcurrencyStats local;
+    Protocol p = atomic;
+    concurrentizeDirectory(p.directory, p.msgs, p.info, Level::Lower,
+                           local);
+    concurrentizeCache(p.cache, p.msgs, p.info, Level::Lower, opts.mode,
+                       local);
+    if (opts.mergeEquivalentStates) {
+        local.mergedStates += mergeEquivalentStates(p.cache);
+        local.mergedStates += mergeEquivalentStates(p.directory);
+    }
+    p.info = analyzeSsp(p.msgs, p.cache, p.directory);
+    if (stats)
+        *stats = local;
+    return p;
+}
+
+Protocol
+makeConcurrent(const Protocol &atomic, ConcurrencyMode mode,
+               ConcurrencyStats *stats)
+{
+    ConcurrencyOptions opts;
+    opts.mode = mode;
+    return makeConcurrent(atomic, opts, stats);
+}
+
+size_t
+mergeEquivalentStates(Machine &m)
+{
+    // Partition refinement over transient states: two transients merge
+    // when their transition rows are identical up to the partition.
+    size_t n = m.numStates();
+    std::vector<bool> has_rows(n, false);
+    for (const auto &[key, alts] : m.table())
+        has_rows[key.first] = true;
+
+    std::vector<int> part(n);
+    for (size_t i = 0; i < n; ++i) {
+        // Stable states and already-dead states stay singleton; live
+        // transients start in one class (id = n) and get refined.
+        part[i] = (m.state(i).stable || !has_rows[i])
+                      ? static_cast<int>(i)
+                      : static_cast<int>(n);
+    }
+
+    auto signature = [&](StateId s) {
+        std::string sig;
+        for (const auto &[key, alts] : m.table()) {
+            if (key.first != s)
+                continue;
+            const EventKey &ev = key.second;
+            sig += std::to_string(static_cast<int>(ev.kind)) + ":" +
+                   std::to_string(ev.kind == EventKey::Kind::Access
+                                      ? static_cast<int>(ev.access)
+                                      : ev.type) +
+                   ":" + std::to_string(static_cast<int>(ev.epoch));
+            for (const auto &t : alts) {
+                sig += "|g" + std::to_string(static_cast<int>(t.guard));
+                sig += "G" + std::to_string(static_cast<int>(t.guard2));
+                sig += "k" + std::to_string(static_cast<int>(t.kind));
+                for (const Op &op : t.ops) {
+                    sig += "o" +
+                           std::to_string(static_cast<int>(op.code));
+                    if (op.code == OpCode::Send) {
+                        sig += "," +
+                               std::to_string(op.send.type) + "," +
+                               std::to_string(
+                                   static_cast<int>(op.send.dst)) +
+                               "," +
+                               std::to_string(static_cast<int>(
+                                   op.send.reqField)) +
+                               "," +
+                               std::to_string(
+                                   static_cast<int>(op.send.acks)) +
+                               "," + std::to_string(op.send.withData) +
+                               "," +
+                               std::to_string(
+                                   static_cast<int>(op.send.epoch));
+                    }
+                }
+                sig += "n" + std::to_string(
+                                 t.next == kNoState ? -1
+                                                    : part[t.next]);
+            }
+            sig += ";";
+        }
+        return sig;
+    };
+
+    // Refine to fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::map<std::pair<int, std::string>, int> buckets;
+        std::vector<int> next_part(n);
+        int next_id = 0;
+        for (size_t i = 0; i < n; ++i) {
+            auto key = std::make_pair(part[i],
+                                      signature(static_cast<StateId>(i)));
+            auto it = buckets.find(key);
+            if (it == buckets.end())
+                it = buckets.emplace(key, next_id++).first;
+            next_part[i] = it->second;
+        }
+        if (next_part != part) {
+            part = next_part;
+            changed = true;
+        }
+    }
+
+    // Pick the lowest-id representative of each class and redirect.
+    std::map<int, StateId> rep;
+    for (size_t i = 0; i < n; ++i) {
+        if (!rep.count(part[i]))
+            rep[part[i]] = static_cast<StateId>(i);
+    }
+    size_t merged = 0;
+    std::vector<StateId> remap(n);
+    for (size_t i = 0; i < n; ++i) {
+        remap[i] = rep[part[i]];
+        if (remap[i] != static_cast<StateId>(i))
+            ++merged;
+    }
+    if (merged == 0)
+        return 0;
+
+    // Redirect all transition targets, then drop rows of dead states.
+    auto &table = m.tableMutable();
+    for (auto it = table.begin(); it != table.end();) {
+        StateId from = it->first.first;
+        if (remap[from] != from) {
+            it = table.erase(it);
+            continue;
+        }
+        for (auto &t : it->second) {
+            if (t.next != kNoState)
+                t.next = remap[t.next];
+        }
+        ++it;
+    }
+    // Dead states stay in the state vector (harmless) but are marked
+    // by pointing their startStable at the representative; counts use
+    // the reachability census, which never visits them.
+    return merged;
+}
+
+} // namespace hieragen::protogen

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Step 2: concurrency injection (the ProtoGen algorithm, Section VI).
+ *
+ * The atomic machines assume one transaction in flight; this pass adds
+ * the transitions that handle racing transactions, exploiting the
+ * paper's invariant that any two racing transactions serialize at
+ * exactly one directory:
+ *
+ *  - Directories stamp forwarded requests with a serialization-epoch
+ *    tag (our form of ProtoGen's request renaming): Past if the
+ *    destination's own pending transaction has not been serialized
+ *    yet, Future if it has.
+ *  - Past forwards apply to a transient state's *start* state and must
+ *    be handled immediately (the transaction re-bases onto the chain
+ *    of the demoted start state).
+ *  - Future forwards apply to the *end* state; the stalling variant
+ *    stalls them, the non-stalling variant defers them in the TBE and
+ *    applies the end-state handler when the transaction commits.
+ *  - Directories gain stale-eviction rules (the Primer's "PutM from
+ *    NonOwner" family) and stall racing requests in their own
+ *    transient states.
+ *
+ * A final pass merges behaviorally equivalent transient states
+ * (Section V-E discussion of MI/SI-style merging).
+ */
+
+#ifndef HIERAGEN_PROTOGEN_CONCURRENT_HH
+#define HIERAGEN_PROTOGEN_CONCURRENT_HH
+
+#include "fsm/protocol.hh"
+
+namespace hieragen::protogen
+{
+
+struct ConcurrencyStats
+{
+    size_t pastRaceTransitions = 0;   ///< must-handle demotions added
+    size_t futureDeferStates = 0;     ///< deferral chain copies created
+    size_t futureStallTransitions = 0;
+    size_t staleEvictionRules = 0;
+    size_t dirStallTransitions = 0;
+    size_t mergedStates = 0;
+};
+
+/**
+ * Make a flat protocol concurrent. @p mode selects stalling vs
+ * non-stalling handling of Future-epoch forwards.
+ */
+Protocol makeConcurrent(const Protocol &atomic, ConcurrencyMode mode,
+                        ConcurrencyStats *stats = nullptr);
+
+/** Options controlling the concurrency pass. */
+struct ConcurrencyOptions
+{
+    ConcurrencyMode mode = ConcurrencyMode::NonStalling;
+    bool mergeEquivalentStates = true;
+};
+
+Protocol makeConcurrent(const Protocol &atomic,
+                        const ConcurrencyOptions &opts,
+                        ConcurrencyStats *stats = nullptr);
+
+/**
+ * Building blocks, exposed so HieraGen (Step 1 output) can run the
+ * same passes over hierarchical machines.
+ */
+
+/** Stamp epoch tags onto a directory-role machine's forward sends and
+ *  add stale-eviction + transient-stall rules. */
+void concurrentizeDirectory(Machine &dir, const MsgTypeTable &msgs,
+                            const SspInfo &info, Level level,
+                            ConcurrencyStats &stats);
+
+/** Add race handling to a cache-role machine per the rules above. */
+void concurrentizeCache(Machine &cache, const MsgTypeTable &msgs,
+                        const SspInfo &info, Level level,
+                        ConcurrencyMode mode, ConcurrencyStats &stats);
+
+/** Merge behaviorally equivalent transient states. Returns merges. */
+size_t mergeEquivalentStates(Machine &m);
+
+} // namespace hieragen::protogen
+
+#endif // HIERAGEN_PROTOGEN_CONCURRENT_HH

@@ -1,0 +1,70 @@
+#include "sim/workload.hh"
+
+namespace hieragen::sim
+{
+
+const char *
+toString(Pattern p)
+{
+    switch (p) {
+      case Pattern::UniformRandom:
+        return "uniform-random";
+      case Pattern::ProducerConsumer:
+        return "producer-consumer";
+      case Pattern::Migratory:
+        return "migratory";
+      case Pattern::PrivateBlocks:
+        return "private-blocks";
+    }
+    return "?";
+}
+
+WorkItem
+Workload::next(uint64_t now)
+{
+    WorkItem item;
+    switch (pattern_) {
+      case Pattern::UniformRandom:
+        item.block = static_cast<int32_t>(rng_.below(numBlocks_));
+        item.access = rng_.chance(storePct_) ? Access::Store
+                                             : Access::Load;
+        break;
+      case Pattern::ProducerConsumer: {
+        // Block b's producer is core (b % numCores); everyone else
+        // reads it.
+        item.block = static_cast<int32_t>(rng_.below(numBlocks_));
+        bool producer = item.block % numCores_ == core_;
+        item.access = producer && rng_.chance(70) ? Access::Store
+                                                  : Access::Load;
+        break;
+      }
+      case Pattern::Migratory: {
+        // The "owning" core of each block rotates over time; the
+        // current owner reads then writes it (lock-like migration).
+        int epoch = static_cast<int>(now / 512);
+        item.block = static_cast<int32_t>(rng_.below(numBlocks_));
+        bool owner = (item.block + epoch) % numCores_ == core_;
+        item.access = owner && rng_.chance(60) ? Access::Store
+                                               : Access::Load;
+        break;
+      }
+      case Pattern::PrivateBlocks: {
+        // 90% of accesses go to the core's private slice.
+        if (rng_.chance(90)) {
+            int per = numBlocks_ / numCores_;
+            if (per == 0)
+                per = 1;
+            item.block = static_cast<int32_t>(
+                (core_ * per + rng_.below(per)) % numBlocks_);
+        } else {
+            item.block = static_cast<int32_t>(rng_.below(numBlocks_));
+        }
+        item.access = rng_.chance(storePct_) ? Access::Store
+                                             : Access::Load;
+        break;
+      }
+    }
+    return item;
+}
+
+} // namespace hieragen::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Synthetic workload generators for the protocol simulator.
+ *
+ * The paper's introduction motivates hierarchy with systems whose
+ * communication is mostly local to a subtree; the patterns here let
+ * the examples and benchmarks exercise exactly that spectrum.
+ */
+
+#ifndef HIERAGEN_SIM_WORKLOAD_HH
+#define HIERAGEN_SIM_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fsm/types.hh"
+
+namespace hieragen::sim
+{
+
+/** Deterministic xorshift64* generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed ? seed : 0x2545f491u) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, n). */
+    uint32_t
+    below(uint32_t n)
+    {
+        return static_cast<uint32_t>(next() % n);
+    }
+
+    /** True with probability pct/100. */
+    bool
+    chance(uint32_t pct)
+    {
+        return below(100) < pct;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+enum class Pattern : uint8_t {
+    UniformRandom,     ///< every core touches every block uniformly
+    ProducerConsumer,  ///< one writer per block, many readers
+    Migratory,         ///< blocks migrate between exclusive writers
+    PrivateBlocks,     ///< each core mostly touches its own blocks
+};
+
+const char *toString(Pattern p);
+
+/** One generated access. */
+struct WorkItem
+{
+    int32_t block = 0;
+    Access access = Access::Load;
+};
+
+/** Per-core access stream. */
+class Workload
+{
+  public:
+    Workload(Pattern pattern, int core, int num_cores, int num_blocks,
+             uint64_t seed, int store_pct = 30)
+        : pattern_(pattern), core_(core), numCores_(num_cores),
+          numBlocks_(num_blocks), storePct_(store_pct),
+          rng_(seed * 7919 + static_cast<uint64_t>(core) + 1)
+    {}
+
+    WorkItem next(uint64_t now);
+
+  private:
+    Pattern pattern_;
+    int core_;
+    int numCores_;
+    int numBlocks_;
+    int storePct_;
+    Rng rng_;
+};
+
+} // namespace hieragen::sim
+
+#endif // HIERAGEN_SIM_WORKLOAD_HH

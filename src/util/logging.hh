@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 idiom.
+ *
+ * fatal() is for user-caused conditions (bad protocol specification,
+ * invalid configuration); it throws FatalError so library embedders can
+ * recover. panic() is for internal invariant violations (a bug in this
+ * library); it aborts.
+ */
+
+#ifndef HIERAGEN_UTIL_LOGGING_HH
+#define HIERAGEN_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hieragen
+{
+
+/** Error thrown by fatal(): the user gave us something unusable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Set the global log level (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Query the global log level. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+void logLine(LogLevel level, const std::string &tag, const std::string &msg);
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Informative message the user should see but not worry about. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logLine(LogLevel::Inform, "info",
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Something might not be handled as well as it could be. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logLine(LogLevel::Warn, "warn",
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Debug-level trace output. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::logLine(LogLevel::Debug, "debug",
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** The user's input cannot be processed; throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** An internal invariant broke; this is a library bug. Aborts. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, Args &&...args)
+{
+    panicImpl(file, line, detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace hieragen
+
+#define HG_PANIC(...) ::hieragen::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an internal invariant; active in all build types. */
+#define HG_ASSERT(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::hieragen::panicAt(__FILE__, __LINE__,                        \
+                                "assertion failed: " #cond " ",           \
+                                ##__VA_ARGS__);                            \
+        }                                                                  \
+    } while (0)
+
+#endif // HIERAGEN_UTIL_LOGGING_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Small string utilities shared across the library.
+ */
+
+#ifndef HIERAGEN_UTIL_STRINGS_HH
+#define HIERAGEN_UTIL_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hieragen
+{
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(std::string_view text);
+
+/** True if @p text starts with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Join @p parts with @p sep between elements. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** Pad or truncate to a fixed column width (for table printing). */
+std::string padTo(std::string_view text, size_t width);
+
+} // namespace hieragen
+
+#endif // HIERAGEN_UTIL_STRINGS_HH

@@ -1,0 +1,408 @@
+#include "verif/checker.hh"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fsm/printer.hh"
+#include "util/logging.hh"
+
+namespace hieragen::verif
+{
+
+std::string
+CheckResult::summary() const
+{
+    std::ostringstream os;
+    if (ok) {
+        os << "PASS " << statesExplored << " states, "
+           << transitionsFired << " transitions";
+        if (omissionProbability > 0)
+            os << ", omission<" << omissionProbability;
+    } else {
+        os << "FAIL[" << errorKind << "] " << detail << " ("
+           << statesExplored << " states)";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** FNV-1a over the encoded state, mixed with the compaction seed. */
+uint64_t
+hashState(const std::string &enc, uint64_t seed)
+{
+    uint64_t h = 14695981039346656037ull ^ seed;
+    for (unsigned char c : enc) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** ExecEnv that collects sends into a SysState and flags errors. */
+class StateEnv : public hieragen::ExecEnv
+{
+  public:
+    SysState *state = nullptr;
+    bool failed = false;
+    std::string errorMsg;
+
+    void
+    send(const Msg &msg) override
+    {
+        state->insertMsg(msg);
+    }
+
+    uint8_t
+    storeValue(NodeId) override
+    {
+        state->ghost = static_cast<uint8_t>(1 - state->ghost);
+        return state->ghost;
+    }
+
+    void
+    loadObserved(NodeId node, bool has_data, uint8_t) override
+    {
+        if (!has_data) {
+            failed = true;
+            errorMsg = "load committed without data at node " +
+                       std::to_string(node);
+        }
+    }
+
+    void
+    error(const std::string &what) override
+    {
+        failed = true;
+        errorMsg = what;
+    }
+};
+
+class Checker
+{
+  public:
+    Checker(const System &sys, const CheckOptions &opts)
+        : sys_(sys), opts_(opts)
+    {}
+
+    CheckResult
+    run()
+    {
+        SysState init = initialState(sys_, opts_.accessBudget);
+        addState(init, SIZE_MAX, "init");
+
+        while (head_ < frontier_.size()) {
+            if (opts_.maxStates &&
+                result_.statesExplored >= opts_.maxStates) {
+                result_.hitStateLimit = true;
+                result_.errorKind = "state-limit";
+                result_.detail = "exploration capped at " +
+                                 std::to_string(opts_.maxStates) +
+                                 " states";
+                return finish(false);
+            }
+            size_t idx = head_++;
+            SysState cur = frontier_[idx];
+            ++result_.statesExplored;
+
+            size_t successors = expand(cur, idx);
+            if (!result_.errorKind.empty())
+                return finish(false);
+
+            if (successors == 0 && !isTerminal(cur)) {
+                fail("deadlock", "no enabled event", idx);
+                return finish(false);
+            }
+        }
+        return finish(true);
+    }
+
+  private:
+    const System &sys_;
+    const CheckOptions &opts_;
+    CheckResult result_;
+
+    // Frontier keeps full states; visited set keeps encodings or
+    // 64-bit signatures (hash compaction).
+    std::vector<SysState> frontier_;
+    size_t head_ = 0;
+    std::unordered_set<std::string> visited_;
+    std::unordered_set<uint64_t> visitedHashes_;
+
+    // Trace support: parent index + event label per frontier entry.
+    std::vector<std::pair<size_t, std::string>> parents_;
+
+    bool
+    isTerminal(const SysState &st) const
+    {
+        // Quiescent with exhausted budgets: a legitimate end state.
+        if (!st.msgs.empty())
+            return false;
+        for (size_t i = 0; i < st.blocks.size(); ++i) {
+            if (!sys_.nodes[i]
+                     .machine->state(st.blocks[i].state)
+                     .stable) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    void
+    fail(const std::string &kind, const std::string &detail, size_t idx)
+    {
+        result_.errorKind = kind;
+        result_.detail = detail;
+        if (opts_.traceOnError && !opts_.hashCompaction)
+            buildTrace(idx);
+    }
+
+    void
+    buildTrace(size_t idx)
+    {
+        std::vector<std::string> rev;
+        while (idx != SIZE_MAX && rev.size() < 200) {
+            rev.push_back(parents_[idx].second + "  =>  " +
+                          describeState(sys_, frontier_[idx]));
+            idx = parents_[idx].first;
+        }
+        result_.trace.assign(rev.rbegin(), rev.rend());
+    }
+
+    bool
+    addState(const SysState &st, size_t parent, const std::string &how)
+    {
+        ++result_.statesGenerated;
+        std::string enc = st.encode();
+        if (opts_.hashCompaction) {
+            uint64_t h = hashState(enc, opts_.compactionSeed);
+            if (!visitedHashes_.insert(h).second)
+                return false;
+        } else {
+            if (!visited_.insert(std::move(enc)).second)
+                return false;
+        }
+        frontier_.push_back(st);
+        parents_.emplace_back(parent,
+                              opts_.traceOnError && !opts_.hashCompaction
+                                  ? how
+                                  : std::string());
+        return true;
+    }
+
+    /** Check state invariants; records failure and returns false. */
+    bool
+    checkInvariants(const SysState &st, size_t parent,
+                    const std::string &how)
+    {
+        // Global SWMR over leaf caches in *stable* states. A silently
+        // upgradeable state (MESI E) counts as a writer.
+        int writers = 0;
+        int readers = 0;
+        for (NodeId c : sys_.leafCaches) {
+            const Machine &m = *sys_.nodes[c].machine;
+            const State &s = m.state(st.blocks[c].state);
+            if (!s.stable)
+                continue;
+            bool writable =
+                s.perm == Perm::ReadWrite || s.silentUpgrade;
+            if (writable)
+                ++writers;
+            else if (s.perm == Perm::Read)
+                ++readers;
+        }
+        if (writers > 1 || (writers == 1 && readers > 0)) {
+            failAfter("swmr",
+                      "SWMR violated: " + std::to_string(writers) +
+                          " writer(s), " + std::to_string(readers) +
+                          " concurrent reader(s)",
+                      parent, how, st);
+            return false;
+        }
+
+        // Data-value invariant: stable readable copies hold the value
+        // of the last committed store.
+        for (NodeId c : sys_.leafCaches) {
+            const Machine &m = *sys_.nodes[c].machine;
+            const State &s = m.state(st.blocks[c].state);
+            if (!s.stable || s.perm == Perm::None)
+                continue;
+            if (!st.blocks[c].hasData ||
+                st.blocks[c].data != st.ghost) {
+                failAfter("data-value",
+                          "node " + std::to_string(c) + " in " +
+                              s.name + " holds stale or missing data",
+                          parent, how, st);
+                return false;
+            }
+        }
+
+        // A transient controller with an empty network can never make
+        // progress again: responses only flow as reactions to messages.
+        if (st.msgs.empty()) {
+            for (size_t i = 0; i < st.blocks.size(); ++i) {
+                const Machine &m = *sys_.nodes[i].machine;
+                if (!m.state(st.blocks[i].state).stable) {
+                    failAfter("deadlock",
+                              "node " + std::to_string(i) +
+                                  " stuck in transient state " +
+                                  m.state(st.blocks[i].state).name +
+                                  " with no messages in flight",
+                              parent, how, st);
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    void
+    failAfter(const std::string &kind, const std::string &detail,
+              size_t parent, const std::string &how, const SysState &bad)
+    {
+        result_.errorKind = kind;
+        result_.detail = detail;
+        if (opts_.traceOnError && !opts_.hashCompaction) {
+            buildTrace(parent);
+            result_.trace.push_back(how + "  =>  " +
+                                    describeState(sys_, bad));
+        }
+    }
+
+    /** Generate all successors of @p cur; returns how many exist. */
+    size_t
+    expand(const SysState &cur, size_t idx)
+    {
+        size_t successors = 0;
+
+        // 1. Message deliveries.
+        for (size_t mi = 0; mi < cur.msgs.size(); ++mi) {
+            if (!cur.deliverable(*sys_.msgs, mi))
+                continue;  // blocked behind an older ordered message
+            const Msg msg = cur.msgs[mi];
+            const NodeCtx &dst = sys_.nodes[msg.dst];
+
+            SysState next = cur;
+            next.removeMsg(mi);
+            StateEnv env;
+            env.state = &next;
+            StepResult r =
+                deliverMsg(dst, *sys_.msgs, next.blocks[msg.dst], msg,
+                           env, opts_.markReached);
+            std::string how = "deliver " +
+                              sys_.msgs->displayName(msg.type) + " " +
+                              std::to_string(msg.src) + "->" +
+                              std::to_string(msg.dst);
+            if (r == StepResult::Error || env.failed) {
+                fail("protocol-error", env.errorMsg, idx);
+                return successors;
+            }
+            if (r == StepResult::Stalled)
+                continue;
+            ++successors;
+            ++result_.transitionsFired;
+            if (addState(next, idx, how)) {
+                if (!checkInvariants(next, idx, how))
+                    return successors;
+            }
+        }
+
+        // 2. Core accesses.
+        bool accesses_allowed =
+            !opts_.atomicTransactions || cur.quiescent(sys_);
+        if (accesses_allowed) {
+            for (size_t li = 0; li < sys_.leafCaches.size(); ++li) {
+                if (cur.budget[li] == 0)
+                    continue;
+                NodeId c = sys_.leafCaches[li];
+                const NodeCtx &node = sys_.nodes[c];
+                for (Access a : {Access::Load, Access::Store,
+                                 Access::Evict}) {
+                    EventKey ev = EventKey::mkAccess(a);
+                    if (!node.machine->hasTransition(
+                            cur.blocks[c].state, ev)) {
+                        continue;
+                    }
+                    SysState next = cur;
+                    next.budget[li] -= 1;
+                    StateEnv env;
+                    env.state = &next;
+                    StepResult r = deliverEvent(
+                        node, *sys_.msgs, next.blocks[c], ev, nullptr,
+                        env, opts_.markReached);
+                    std::string how = "core " + std::to_string(c) +
+                                      ": " + toString(a);
+                    if (r == StepResult::Error || env.failed) {
+                        fail("protocol-error", env.errorMsg, idx);
+                        return successors;
+                    }
+                    if (r == StepResult::Stalled)
+                        continue;
+                    ++successors;
+                    ++result_.transitionsFired;
+                    if (addState(next, idx, how)) {
+                        if (!checkInvariants(next, idx, how))
+                            return successors;
+                    }
+                }
+            }
+        }
+        return successors;
+    }
+
+    CheckResult
+    finish(bool ok)
+    {
+        result_.ok = ok && result_.errorKind.empty();
+        if (opts_.hashCompaction) {
+            // Stern–Dill style bound: expected omitted states is about
+            // n^2 / 2^b for n states hashed into b-bit signatures.
+            double n = static_cast<double>(result_.statesGenerated);
+            result_.omissionProbability = n * n / 1.8446744e19;
+        }
+        return result_;
+    }
+};
+
+} // namespace
+
+CheckResult
+check(const System &sys, const CheckOptions &opts)
+{
+    return Checker(sys, opts).run();
+}
+
+CheckResult
+checkFlat(const Protocol &p, int num_caches, const CheckOptions &opts)
+{
+    System sys = buildFlatSystem(p, num_caches);
+    return check(sys, opts);
+}
+
+CheckResult
+checkHier(const HierProtocol &p, int num_cache_h, int num_cache_l,
+          const CheckOptions &opts)
+{
+    System sys = buildHierSystem(p, num_cache_h, num_cache_l);
+    return check(sys, opts);
+}
+
+CheckResult
+pruneUnreachable(const System &sys, CheckOptions opts,
+                 std::vector<Machine *> machines)
+{
+    for (Machine *m : machines)
+        m->clearReachedMarks();
+    opts.markReached = true;
+    CheckResult r = check(sys, opts);
+    if (r.ok) {
+        for (Machine *m : machines)
+            m->pruneUnreached();
+    }
+    return r;
+}
+
+} // namespace hieragen::verif

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Explicit-state model checker for generated protocols.
+ *
+ * Performs the paper's three verification duties:
+ *   1. safety — global SWMR and the data-value invariant,
+ *   2. deadlock freedom,
+ *   3. the reachable state/event census used to prune machines
+ *      (Section V-E).
+ *
+ * Two storage modes: a full state table (exact, supports traces) and
+ * Stern–Dill hash compaction (Section VIII-C), which stores 64-bit
+ * state signatures and reports the omission probability.
+ */
+
+#ifndef HIERAGEN_VERIF_CHECKER_HH
+#define HIERAGEN_VERIF_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verif/system.hh"
+
+namespace hieragen::verif
+{
+
+struct CheckOptions
+{
+    /** Abort exploration after this many states (0 = unlimited). */
+    uint64_t maxStates = 20'000'000;
+
+    /** Serialize transactions (verify the Step-1 atomic protocol). */
+    bool atomicTransactions = false;
+
+    /** Accesses each core may issue; -1 explores the cyclic space. */
+    int accessBudget = 2;
+
+    /** Store 64-bit signatures instead of full states (Stern–Dill). */
+    bool hashCompaction = false;
+    uint64_t compactionSeed = 0x9e3779b97f4a7c15ull;
+
+    /** Record parent links so violations come with a trace. */
+    bool traceOnError = true;
+
+    /** Drive the Section V-E reachability census. */
+    bool markReached = true;
+};
+
+struct CheckResult
+{
+    bool ok = false;
+    /** "", "swmr", "data-value", "deadlock", "protocol-error",
+     *  "state-limit" */
+    std::string errorKind;
+    std::string detail;
+    uint64_t statesExplored = 0;
+    uint64_t statesGenerated = 0;
+    uint64_t transitionsFired = 0;
+    bool hitStateLimit = false;
+    double omissionProbability = 0.0;
+    std::vector<std::string> trace;
+
+    std::string summary() const;
+};
+
+/** Model-check one system from its initial state. */
+CheckResult check(const System &sys, const CheckOptions &opts);
+
+/** Convenience wrappers matching the paper's configurations. */
+CheckResult checkFlat(const Protocol &p, int num_caches,
+                      const CheckOptions &opts);
+CheckResult checkHier(const HierProtocol &p, int num_cache_h,
+                      int num_cache_l, const CheckOptions &opts);
+
+/**
+ * Run the reachability census and prune unreachable state/event pairs
+ * from every machine (paper Section V-E). Returns the census run's
+ * result; pruning only happens when the run is clean.
+ */
+CheckResult pruneUnreachable(const System &sys, CheckOptions opts,
+                             std::vector<Machine *> machines);
+
+} // namespace hieragen::verif
+
+#endif // HIERAGEN_VERIF_CHECKER_HH

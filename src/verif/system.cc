@@ -1,0 +1,261 @@
+#include "verif/system.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fsm/printer.hh"
+#include "util/logging.hh"
+
+namespace hieragen::verif
+{
+
+System
+buildFlatSystem(const Protocol &p, int num_caches)
+{
+    HG_ASSERT(num_caches >= 1 && num_caches <= 28,
+              "flat system supports 1..28 caches");
+    System sys;
+    sys.msgs = &p.msgs;
+
+    NodeCtx dir;
+    dir.id = 0;
+    dir.machine = &p.directory;
+    dir.parent = kNoNode;
+    dir.leafCache = false;
+    sys.nodes.push_back(dir);
+
+    for (int i = 0; i < num_caches; ++i) {
+        NodeCtx c;
+        c.id = static_cast<NodeId>(1 + i);
+        c.machine = &p.cache;
+        c.parent = 0;
+        c.leafCache = true;
+        sys.nodes.push_back(c);
+        sys.leafCaches.push_back(c.id);
+    }
+    return sys;
+}
+
+System
+buildHierSystem(const HierProtocol &p, int num_cache_h, int num_cache_l)
+{
+    HG_ASSERT(num_cache_h >= 1 && num_cache_l >= 1 &&
+                  num_cache_h + num_cache_l <= 26,
+              "hierarchical system size out of range");
+    System sys;
+    sys.msgs = &p.msgs;
+
+    NodeCtx root;
+    root.id = 0;
+    root.machine = &p.root;
+    root.parent = kNoNode;
+    root.level = Level::Higher;
+    sys.nodes.push_back(root);
+
+    for (int i = 0; i < num_cache_h; ++i) {
+        NodeCtx c;
+        c.id = static_cast<NodeId>(1 + i);
+        c.machine = &p.cacheH;
+        c.parent = 0;
+        c.leafCache = true;
+        c.level = Level::Higher;
+        sys.nodes.push_back(c);
+        sys.leafCaches.push_back(c.id);
+    }
+
+    NodeCtx dc;
+    dc.id = static_cast<NodeId>(1 + num_cache_h);
+    dc.machine = &p.dirCache;
+    dc.parent = 0;
+    dc.leafCache = false;
+    dc.level = Level::Lower;
+    sys.nodes.push_back(dc);
+
+    for (int i = 0; i < num_cache_l; ++i) {
+        NodeCtx c;
+        c.id = static_cast<NodeId>(2 + num_cache_h + i);
+        c.machine = &p.cacheL;
+        c.parent = dc.id;
+        c.leafCache = true;
+        c.level = Level::Lower;
+        sys.nodes.push_back(c);
+        sys.leafCaches.push_back(c.id);
+    }
+    return sys;
+}
+
+void
+SysState::insertMsg(const Msg &m)
+{
+    Msg msg = m;
+    // FIFO position on the (src, dst) channel: one past the newest.
+    int32_t max_seq = -1;
+    for (const Msg &other : msgs) {
+        if (other.src == msg.src && other.dst == msg.dst)
+            max_seq = std::max(max_seq, other.seq);
+    }
+    msg.seq = max_seq + 1;
+    auto cmp = [](const Msg &a, const Msg &b) {
+        return std::tie(a.type, a.src, a.dst, a.requestor, a.epoch,
+                        a.ackCount, a.hasData, a.data) <
+               std::tie(b.type, b.src, b.dst, b.requestor, b.epoch,
+                        b.ackCount, b.hasData, b.data);
+    };
+    msgs.insert(std::upper_bound(msgs.begin(), msgs.end(), msg, cmp),
+                msg);
+}
+
+bool
+SysState::deliverable(const MsgTypeTable &types, size_t index) const
+{
+    const Msg &m = msgs[index];
+    if (!onOrderedVnet(types, m))
+        return true;
+    // Ordered forwarding network: only the oldest ordered message on
+    // this (src, dst) channel may be delivered.
+    for (size_t i = 0; i < msgs.size(); ++i) {
+        if (i == index)
+            continue;
+        const Msg &o = msgs[i];
+        if (o.src == m.src && o.dst == m.dst && o.seq < m.seq &&
+            onOrderedVnet(types, o)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+SysState::removeMsg(size_t index)
+{
+    HG_ASSERT(index < msgs.size(), "removeMsg out of range");
+    msgs.erase(msgs.begin() + static_cast<ptrdiff_t>(index));
+}
+
+std::string
+SysState::encode() const
+{
+    std::string out;
+    out.reserve(blocks.size() * 14 + msgs.size() * 10 + budget.size() +
+                1);
+    auto put8 = [&](uint8_t v) { out.push_back(static_cast<char>(v)); };
+    auto put16 = [&](uint16_t v) {
+        put8(static_cast<uint8_t>(v & 0xff));
+        put8(static_cast<uint8_t>(v >> 8));
+    };
+    auto put32 = [&](uint32_t v) {
+        put16(static_cast<uint16_t>(v & 0xffff));
+        put16(static_cast<uint16_t>(v >> 16));
+    };
+    for (const auto &b : blocks) {
+        put16(static_cast<uint16_t>(b.state + 1));
+        put8(b.hasData);
+        put8(b.data);
+        put8(static_cast<uint8_t>(b.tbe.ackCtr + 64));
+        put8(b.tbe.countReceived);
+        put8(static_cast<uint8_t>(b.tbe.savedRequestor + 1));
+        put8(static_cast<uint8_t>(b.tbe.savedLower + 1));
+        put8(static_cast<uint8_t>(b.tbe.savedAckCount + 64));
+        put8(static_cast<uint8_t>(b.tbe.stashedCtr + 64));
+        put8(b.tbe.stashedRecv);
+        put32(b.sharers);
+        put8(static_cast<uint8_t>(b.owner + 1));
+    }
+    for (size_t i = 0; i < msgs.size(); ++i) {
+        const Msg &m = msgs[i];
+        put16(static_cast<uint16_t>(m.type + 1));
+        put8(static_cast<uint8_t>(m.src + 1));
+        put8(static_cast<uint8_t>(m.dst + 1));
+        put8(static_cast<uint8_t>(m.requestor + 1));
+        put8(static_cast<uint8_t>(m.epoch));
+        put8(static_cast<uint8_t>(m.ackCount + 64));
+        put8(m.hasData);
+        put8(m.data);
+        // Canonical FIFO rank within the (src, dst) channel: the raw
+        // seq depends on send history and would break deduplication.
+        uint8_t rank = 0;
+        for (size_t j = 0; j < msgs.size(); ++j) {
+            if (msgs[j].src == m.src && msgs[j].dst == m.dst &&
+                msgs[j].seq < m.seq) {
+                ++rank;
+            }
+        }
+        put8(rank);
+    }
+    for (uint8_t b : budget)
+        put8(b);
+    put8(ghost);
+    return out;
+}
+
+bool
+SysState::quiescent(const System &sys) const
+{
+    if (!msgs.empty())
+        return false;
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        const Machine &m = *sys.nodes[i].machine;
+        if (!m.state(blocks[i].state).stable)
+            return false;
+    }
+    return true;
+}
+
+SysState
+initialState(const System &sys, int access_budget)
+{
+    SysState st;
+    st.blocks.resize(sys.nodes.size());
+    for (size_t i = 0; i < sys.nodes.size(); ++i) {
+        const NodeCtx &n = sys.nodes[i];
+        BlockState b;
+        b.state = n.machine->initial();
+        // The top-level directory is backed by memory and always has
+        // the (initially zero) block.
+        if (n.parent == kNoNode) {
+            b.hasData = true;
+            b.data = 0;
+        }
+        st.blocks[i] = b;
+    }
+    st.budget.assign(sys.leafCaches.size(),
+                     access_budget < 0
+                         ? 255
+                         : static_cast<uint8_t>(access_budget));
+    return st;
+}
+
+std::string
+describeState(const System &sys, const SysState &st)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < sys.nodes.size(); ++i) {
+        const NodeCtx &n = sys.nodes[i];
+        const BlockState &b = st.blocks[i];
+        os << n.machine->name() << i << "="
+           << n.machine->state(b.state).name;
+        if (b.hasData)
+            os << "(d" << int(b.data) << ")";
+        if (b.tbe.ackCtr != 0)
+            os << "(a" << int(b.tbe.ackCtr) << ")";
+        if (b.owner != kNoNode)
+            os << "(o" << b.owner << ")";
+        if (b.sharers != 0)
+            os << "(s" << b.sharers << ")";
+        os << " ";
+    }
+    os << "ghost=" << int(st.ghost);
+    if (!st.msgs.empty()) {
+        os << " net:[";
+        for (const auto &m : st.msgs) {
+            os << " " << sys.msgs->displayName(m.type) << " " << m.src
+               << "->" << m.dst;
+            if (m.epoch != FwdEpoch::None)
+                os << "(" << toString(m.epoch)[0] << ")";
+        }
+        os << " ]";
+    }
+    return os.str();
+}
+
+} // namespace hieragen::verif

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * System instantiation for verification: node layout and global state.
+ *
+ * A System wires controller machines into the paper's configurations:
+ * flat (one directory, N core/caches) or hierarchical (root, cache-H
+ * nodes, one dir/cache, cache-L nodes — Figure 1b, the configuration
+ * verified in Section VIII-C).
+ */
+
+#ifndef HIERAGEN_VERIF_SYSTEM_HH
+#define HIERAGEN_VERIF_SYSTEM_HH
+
+#include <string>
+#include <vector>
+
+#include "fsm/exec.hh"
+#include "fsm/protocol.hh"
+
+namespace hieragen::verif
+{
+
+/** Static system description shared by every explored state. */
+struct System
+{
+    const MsgTypeTable *msgs = nullptr;
+    std::vector<NodeCtx> nodes;
+    std::vector<NodeId> leafCaches;  ///< SWMR/data-value participants
+
+    NodeId
+    dirCacheNode() const
+    {
+        for (const auto &n : nodes) {
+            if (n.machine && n.machine->role() == MachineRole::DirCache)
+                return n.id;
+        }
+        return kNoNode;
+    }
+};
+
+/** Flat layout: node 0 = directory, nodes 1..N = core/caches. */
+System buildFlatSystem(const Protocol &p, int num_caches);
+
+/**
+ * Hierarchical layout: node 0 = root, nodes 1..nH = cache-H,
+ * node nH+1 = dir/cache, nodes nH+2 .. nH+1+nL = cache-L.
+ */
+System buildHierSystem(const HierProtocol &p, int num_cache_h,
+                       int num_cache_l);
+
+/** One explored global state. */
+struct SysState
+{
+    std::vector<BlockState> blocks;  ///< indexed by node id
+    std::vector<Msg> msgs;           ///< kept sorted (canonical multiset)
+    uint8_t ghost = 0;               ///< last value written by any store
+    std::vector<uint8_t> budget;     ///< accesses left per leaf cache
+
+    void insertMsg(const Msg &m);
+    void removeMsg(size_t index);
+
+    /** Ordered-vnet FIFO check: may msgs[index] be delivered now? */
+    bool deliverable(const MsgTypeTable &types, size_t index) const;
+
+    /** Canonical byte encoding for hashing and deduplication. */
+    std::string encode() const;
+
+    /** All controllers stable and no messages in flight. */
+    bool quiescent(const System &sys) const;
+};
+
+/** Initial state: memory at the top-level directory, caches invalid. */
+SysState initialState(const System &sys, int access_budget);
+
+/** Human-readable one-line state dump (for counterexample traces). */
+std::string describeState(const System &sys, const SysState &st);
+
+} // namespace hieragen::verif
+
+#endif // HIERAGEN_VERIF_SYSTEM_HH

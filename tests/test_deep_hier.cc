@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deeper-hierarchy tests (paper Section VII-A): pairwise generation
+ * of three-level stacks, each boundary verified.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hiera.hh"
+#include "protocols/registry.hh"
+#include "verif/checker.hh"
+
+namespace hieragen
+{
+namespace
+{
+
+TEST(DeepHierarchy, ThreeLevelPairsGenerateAndVerify)
+{
+    Protocol l0 = protocols::builtinProtocol("MSI");
+    Protocol l1 = protocols::builtinProtocol("MSI");
+    Protocol l2 = protocols::builtinProtocol("MSI");
+    core::HierGenOptions opts;
+    opts.mode = ConcurrencyMode::Stalling;
+    auto pairs = core::generateDeep({&l0, &l1, &l2}, opts);
+    ASSERT_EQ(pairs.size(), 2u);
+    for (const auto &p : pairs) {
+        verif::CheckOptions vo;
+        vo.accessBudget = 2;
+        vo.traceOnError = false;
+        auto r = verif::checkHier(p, 2, 2, vo);
+        EXPECT_TRUE(r.ok) << p.name << ": " << r.summary();
+    }
+}
+
+TEST(DeepHierarchy, MixedStackBoundariesDiffer)
+{
+    Protocol l0 = protocols::builtinProtocol("MI");
+    Protocol l1 = protocols::builtinProtocol("MSI");
+    Protocol l2 = protocols::builtinProtocol("MESI");
+    auto pairs = core::generateDeep({&l0, &l1, &l2});
+    ASSERT_EQ(pairs.size(), 2u);
+    EXPECT_EQ(pairs[0].name, "MI/MSI");
+    EXPECT_EQ(pairs[1].name, "MSI/MESI");
+    EXPECT_NE(pairs[0].dirCache.numStates(),
+              pairs[1].dirCache.numStates());
+}
+
+TEST(DeepHierarchy, RejectsSingleLevel)
+{
+    Protocol l0 = protocols::builtinProtocol("MSI");
+    EXPECT_DEATH(core::generateDeep({&l0}), "deep hierarchy");
+}
+
+} // namespace
+} // namespace hieragen

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the SSP DSL: lexer, parser, sema, lowering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsl/lexer.hh"
+#include "dsl/lower.hh"
+#include "dsl/parser.hh"
+#include "dsl/sema.hh"
+#include "protocols/registry.hh"
+#include "util/logging.hh"
+
+namespace hieragen
+{
+namespace
+{
+
+using dsl::TokenKind;
+
+const char *kTinyProtocol = R"dsl(
+protocol Tiny;
+
+message GetM    : request;
+message PutM    : request eviction data;
+message FwdGetM : forward acks invalidating;
+message Data    : response data acks;
+message PutAck  : response;
+
+cache {
+  initial I;
+  state I perm none;
+  state M perm readwrite owner dirty;
+
+  process(I, store) {
+    send GetM to dir;
+    await { when Data: { copydata; } -> M; }
+  }
+  process(M, store) { hit; }
+  process(M, evict) {
+    send PutM to dir data;
+    await { when PutAck: {} -> I; }
+  }
+  forward(M, FwdGetM) { send Data to req data acks frommsg; } -> I;
+}
+
+directory {
+  initial I;
+  state I;
+  state M;
+
+  process(I, GetM) { send Data to req data acks zero; setowner; } -> M;
+  process(M, GetM) { send FwdGetM to owner acks zero; setowner; } -> M;
+  process(M, PutM) { copydata; send PutAck to req; clearowner; } -> I;
+}
+)dsl";
+
+TEST(Lexer, TokenizesPunctuationAndIdents)
+{
+    auto toks = dsl::tokenize("process(I, load) -> M; # comment\n}");
+    ASSERT_GE(toks.size(), 9u);
+    EXPECT_EQ(toks[0].kind, TokenKind::Ident);
+    EXPECT_EQ(toks[0].text, "process");
+    EXPECT_EQ(toks[1].kind, TokenKind::LParen);
+    EXPECT_EQ(toks[5].kind, TokenKind::RParen);
+    EXPECT_EQ(toks[6].kind, TokenKind::Arrow);
+    EXPECT_EQ(toks.back().kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    auto toks = dsl::tokenize("a\nb\n  c");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 3);
+}
+
+TEST(Lexer, SlashSlashComments)
+{
+    auto toks = dsl::tokenize("x // ignored { } \ny");
+    ASSERT_EQ(toks.size(), 3u);  // x, y, EOF
+    EXPECT_EQ(toks[1].text, "y");
+}
+
+TEST(Lexer, RejectsStrayCharacters)
+{
+    EXPECT_THROW(dsl::tokenize("a @ b"), FatalError);
+}
+
+TEST(Parser, ParsesTinyProtocol)
+{
+    auto ast = dsl::parseProtocol(kTinyProtocol);
+    EXPECT_EQ(ast.name, "Tiny");
+    EXPECT_EQ(ast.messages.size(), 5u);
+    EXPECT_EQ(ast.cache.states.size(), 2u);
+    EXPECT_EQ(ast.cache.initial, "I");
+    EXPECT_EQ(ast.cache.handlers.size(), 4u);
+    EXPECT_EQ(ast.directory.handlers.size(), 3u);
+}
+
+TEST(Parser, AwaitBranchesAndGuards)
+{
+    auto ast = dsl::parseProtocol(kTinyProtocol);
+    const auto &h = ast.cache.handlers[0];
+    EXPECT_TRUE(h.isProcess);
+    EXPECT_EQ(h.trigger, "store");
+    ASSERT_EQ(h.body.size(), 2u);
+    EXPECT_EQ(h.body[1].kind, dsl::Stmt::Kind::Await);
+    ASSERT_EQ(h.body[1].await->branches.size(), 1u);
+    EXPECT_EQ(h.body[1].await->branches[0].msgName, "Data");
+    ASSERT_TRUE(h.body[1].await->branches[0].nextState.has_value());
+    EXPECT_EQ(*h.body[1].await->branches[0].nextState, "M");
+}
+
+TEST(Parser, SyntaxErrorHasLineNumber)
+{
+    try {
+        dsl::parseProtocol("protocol X\ncache {}");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+    }
+}
+
+TEST(Sema, RejectsUnknownState)
+{
+    std::string bad = kTinyProtocol;
+    size_t pos = bad.find("-> M;");
+    bad.replace(pos, 5, "-> Q;");
+    EXPECT_THROW(dsl::compileProtocol(bad), FatalError);
+}
+
+TEST(Sema, RejectsUnknownMessage)
+{
+    std::string bad = kTinyProtocol;
+    size_t pos = bad.find("send GetM to dir");
+    bad.replace(pos, 16, "send GetX to dir");
+    EXPECT_THROW(dsl::compileProtocol(bad), FatalError);
+}
+
+TEST(Sema, RejectsAwaitOnRequestClass)
+{
+    std::string bad = kTinyProtocol;
+    size_t pos = bad.find("when Data:");
+    bad.replace(pos, 10, "when GetM:");
+    EXPECT_THROW(dsl::compileProtocol(bad), FatalError);
+}
+
+TEST(Sema, RejectsCacheMulticast)
+{
+    std::string bad = kTinyProtocol;
+    size_t pos = bad.find("send GetM to dir");
+    bad.replace(pos, 16, "send GetM to sharers");
+    EXPECT_THROW(dsl::compileProtocol(bad), FatalError);
+}
+
+TEST(Lower, CreatesTransientStates)
+{
+    Protocol p = dsl::compileProtocol(kTinyProtocol);
+    // I -> M via one await: one transient. M -> I eviction: one more.
+    EXPECT_EQ(p.cache.numStates(), 4u);
+    EXPECT_EQ(p.cache.numStableStates(), 2u);
+    StateId t = p.cache.findState("I_store_w0");
+    ASSERT_NE(t, kNoState);
+    EXPECT_FALSE(p.cache.state(t).stable);
+    EXPECT_EQ(p.cache.state(t).startStable, p.cache.findState("I"));
+    EXPECT_EQ(p.cache.state(t).endStable, p.cache.findState("M"));
+}
+
+TEST(Lower, CommitOpsInserted)
+{
+    Protocol p = dsl::compileProtocol(kTinyProtocol);
+    StateId t = p.cache.findState("I_store_w0");
+    MsgTypeId data = p.msgs.find("Data", Level::Lower);
+    const auto *alts = p.cache.transitionsFor(t, EventKey::mkMsg(data));
+    ASSERT_NE(alts, nullptr);
+    bool has_store = false;
+    for (const Op &op : alts->front().ops)
+        has_store = has_store || op.code == OpCode::DoStore;
+    EXPECT_TRUE(has_store);
+}
+
+TEST(Lower, EvictionInsertsInvalidate)
+{
+    Protocol p = dsl::compileProtocol(kTinyProtocol);
+    StateId t = p.cache.findState("M_evict_w0");
+    ASSERT_NE(t, kNoState);
+    MsgTypeId ack = p.msgs.find("PutAck", Level::Lower);
+    const auto *alts = p.cache.transitionsFor(t, EventKey::mkMsg(ack));
+    ASSERT_NE(alts, nullptr);
+    bool has_inval = false;
+    for (const Op &op : alts->front().ops)
+        has_inval = has_inval || op.code == OpCode::InvalidateLine;
+    EXPECT_TRUE(has_inval);
+}
+
+TEST(Lower, DirectoryHasNoTransientsWithoutAwait)
+{
+    Protocol p = dsl::compileProtocol(kTinyProtocol);
+    EXPECT_EQ(p.directory.numStates(), 2u);
+    EXPECT_EQ(p.directory.numStableStates(), 2u);
+}
+
+TEST(Lower, AnalyzeSspFindsRequestAccess)
+{
+    Protocol p = dsl::compileProtocol(kTinyProtocol);
+    MsgTypeId getm = p.msgs.find("GetM", Level::Lower);
+    MsgTypeId putm = p.msgs.find("PutM", Level::Lower);
+    ASSERT_TRUE(p.info.requestAccess.count(getm));
+    EXPECT_EQ(p.info.requestAccess.at(getm), Access::Store);
+    ASSERT_TRUE(p.info.requestAccess.count(putm));
+    EXPECT_EQ(p.info.requestAccess.at(putm), Access::Evict);
+    EXPECT_TRUE(p.info.evictionRequests.count(putm));
+}
+
+TEST(Lower, AnalyzeSspFindsFwdAccess)
+{
+    Protocol p = dsl::compileProtocol(kTinyProtocol);
+    MsgTypeId fwd = p.msgs.find("FwdGetM", Level::Lower);
+    ASSERT_TRUE(p.info.fwdAccess.count(fwd));
+    EXPECT_EQ(p.info.fwdAccess.at(fwd), Access::Store);
+}
+
+TEST(Lower, NoSilentUpgradeInTiny)
+{
+    Protocol p = dsl::compileProtocol(kTinyProtocol);
+    EXPECT_FALSE(p.info.hasSilentUpgrade);
+}
+
+} // namespace
+} // namespace hieragen
+
+namespace hieragen
+{
+namespace
+{
+
+// --- Additional robustness sweeps over the DSL front-end. ---
+
+Protocol
+protocols_msi()
+{
+    return protocols::builtinProtocol("MSI");
+}
+
+TEST(SemaMore, RejectsDuplicateState)
+{
+    std::string bad = kTinyProtocol;
+    bad.replace(bad.find("state M perm readwrite owner dirty;"), 0,
+                "state I perm none; ");
+    EXPECT_THROW(dsl::compileProtocol(bad), FatalError);
+}
+
+TEST(SemaMore, RejectsMissingInitial)
+{
+    std::string bad = kTinyProtocol;
+    bad.replace(bad.find("initial I;"), 10, "          ");
+    EXPECT_THROW(dsl::compileProtocol(bad), FatalError);
+}
+
+TEST(SemaMore, RejectsDataOnDatalessMessage)
+{
+    std::string bad = kTinyProtocol;
+    bad.replace(bad.find("send PutM to dir data"), 21,
+                "send PutAck to dir da");
+    EXPECT_THROW(dsl::compileProtocol(bad), FatalError);
+}
+
+TEST(SemaMore, RejectsDirectorySendingRequests)
+{
+    std::string bad = kTinyProtocol;
+    size_t dirpos = bad.find("directory {");
+    size_t pos = bad.find("send Data to req data acks zero", dirpos);
+    bad.replace(pos, 9, "send GetM");
+    EXPECT_THROW(dsl::compileProtocol(bad), FatalError);
+}
+
+TEST(SemaMore, RejectsDuplicateHandlers)
+{
+    std::string bad = kTinyProtocol;
+    bad.replace(bad.find("forward(M, FwdGetM)"), 0,
+                "process(M, store) { hit; } ");
+    EXPECT_THROW(dsl::compileProtocol(bad), FatalError);
+}
+
+TEST(SemaMore, RejectsForwardHandlerOnResponse)
+{
+    std::string bad = kTinyProtocol;
+    bad.replace(bad.find("forward(M, FwdGetM)"), 19,
+                "forward(M, PutAck) ");
+    EXPECT_THROW(dsl::compileProtocol(bad), FatalError);
+}
+
+TEST(LowerMore, GuardedAwaitBranchesLowerInOrder)
+{
+    Protocol p = dsl::compileProtocol(R"dsl(
+protocol G;
+message Get  : request;
+message D    : response data acks;
+message Ack  : response;
+cache {
+  initial I;
+  state I perm none;
+  state V perm readwrite owner dirty;
+  process(I, store) {
+    send Get to dir;
+    await {
+      when D if acks_zero: { copydata; } -> V;
+      when D: { copydata; setacks; collect Ack; } -> V;
+    }
+  }
+  process(V, evict) {
+    send Get to dir;
+    await { when Ack: {} -> I; }
+  }
+}
+directory {
+  initial I;
+  state I;
+  process(I, Get) { send D to req data acks zero; } -> I;
+}
+)dsl");
+    StateId t = p.cache.findState("I_store_w0");
+    ASSERT_NE(t, kNoState);
+    MsgTypeId d = p.msgs.find("D", Level::Lower);
+    const auto *alts = p.cache.transitionsFor(t, EventKey::mkMsg(d));
+    ASSERT_NE(alts, nullptr);
+    ASSERT_EQ(alts->size(), 2u);
+    EXPECT_EQ(alts->front().guard, Guard::AcksZero);
+    // The collector state exists with its self-loop.
+    StateId coll = p.cache.findState("I_store_a1");
+    ASSERT_NE(coll, kNoState);
+    MsgTypeId ack = p.msgs.find("Ack", Level::Lower);
+    EXPECT_TRUE(p.cache.hasTransition(coll, EventKey::mkMsg(ack)));
+}
+
+TEST(LowerMore, EarlyAckSelfLoopOnFirstPhase)
+{
+    Protocol p = protocols_msi();
+    StateId t = p.cache.findState("I_store_w0");
+    MsgTypeId invack = p.msgs.find("InvAck", Level::Lower);
+    ASSERT_NE(t, kNoState);
+    EXPECT_TRUE(p.cache.hasTransition(t, EventKey::mkMsg(invack)))
+        << "early InvAcks must be absorbed before the count arrives";
+}
+
+} // namespace
+} // namespace hieragen

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the FSM intermediate representation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fsm/machine.hh"
+#include "fsm/msg.hh"
+#include "fsm/printer.hh"
+
+namespace hieragen
+{
+namespace
+{
+
+MsgType
+mkType(const std::string &name, MsgClass cls, Level level = Level::Lower)
+{
+    MsgType t;
+    t.name = name;
+    t.cls = cls;
+    t.level = level;
+    return t;
+}
+
+TEST(MsgTypeTable, InternsAndFinds)
+{
+    MsgTypeTable tbl;
+    MsgTypeId a = tbl.add(mkType("GetS", MsgClass::Request));
+    MsgTypeId b = tbl.add(mkType("Data", MsgClass::Response));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tbl.find("GetS", Level::Lower), a);
+    EXPECT_EQ(tbl.find("GetS", Level::Higher), kNoMsgType);
+    EXPECT_EQ(tbl.add(mkType("GetS", MsgClass::Request)), a);
+}
+
+TEST(MsgTypeTable, LevelsAreSeparateNamespaces)
+{
+    MsgTypeTable tbl;
+    MsgTypeId lo = tbl.add(mkType("GetS", MsgClass::Request));
+    MsgTypeId hi =
+        tbl.add(mkType("GetS", MsgClass::Request, Level::Higher));
+    EXPECT_NE(lo, hi);
+    EXPECT_TRUE(tbl.hasBothLevels());
+    EXPECT_EQ(tbl.displayName(lo), "GetS-L");
+    EXPECT_EQ(tbl.displayName(hi), "GetS-H");
+}
+
+TEST(MsgTypeTable, DisplayNamePlainWhenFlat)
+{
+    MsgTypeTable tbl;
+    MsgTypeId a = tbl.add(mkType("GetM", MsgClass::Request));
+    EXPECT_EQ(tbl.displayName(a), "GetM");
+}
+
+TEST(MsgTypeTable, ImportRemaps)
+{
+    MsgTypeTable src;
+    src.add(mkType("GetS", MsgClass::Request));
+    src.add(mkType("Data", MsgClass::Response));
+
+    MsgTypeTable dst;
+    dst.add(mkType("Other", MsgClass::Request));
+    auto remap = dst.import(src, Level::Higher);
+    ASSERT_EQ(remap.size(), 2u);
+    EXPECT_EQ(dst.find("GetS", Level::Higher), remap[0]);
+    EXPECT_EQ(dst.find("Data", Level::Higher), remap[1]);
+}
+
+TEST(Machine, StatesAndTransitions)
+{
+    Machine m("cache", MachineRole::Cache);
+    State i;
+    i.name = "I";
+    State s;
+    s.name = "S";
+    s.perm = Perm::Read;
+    StateId iid = m.addState(i);
+    StateId sid = m.addState(s);
+    m.setInitial(iid);
+
+    Transition t;
+    t.next = sid;
+    m.addTransition(iid, EventKey::mkAccess(Access::Load), t);
+    EXPECT_TRUE(m.hasTransition(iid, EventKey::mkAccess(Access::Load)));
+    EXPECT_FALSE(m.hasTransition(sid, EventKey::mkAccess(Access::Load)));
+    EXPECT_EQ(m.numTransitions(), 1u);
+    EXPECT_EQ(m.numStates(), 2u);
+    EXPECT_EQ(m.numStableStates(), 2u);
+}
+
+TEST(Machine, GuardAlternativesCount)
+{
+    Machine m("d", MachineRole::Directory);
+    StateId s = m.addState(State{.name = "S"});
+    MsgTypeTable tbl;
+    MsgTypeId put = tbl.add(mkType("PutS", MsgClass::Request));
+
+    Transition last;
+    last.guard = Guard::LastSharer;
+    last.next = s;
+    m.addTransition(s, EventKey::mkMsg(put), last);
+    Transition more;
+    more.guard = Guard::NotLastSharer;
+    more.next = s;
+    m.addTransition(s, EventKey::mkMsg(put), more);
+
+    EXPECT_EQ(m.numTransitions(), 2u);
+    auto *alts = m.transitionsFor(s, EventKey::mkMsg(put));
+    ASSERT_NE(alts, nullptr);
+    EXPECT_EQ(alts->size(), 2u);
+}
+
+TEST(Machine, PruneUnreached)
+{
+    Machine m("c", MachineRole::Cache);
+    StateId a = m.addState(State{.name = "A"});
+    StateId b = m.addState(State{.name = "B"});
+    Transition t1;
+    t1.next = b;
+    m.addTransition(a, EventKey::mkAccess(Access::Load), t1);
+    Transition t2;
+    t2.next = a;
+    m.addTransition(b, EventKey::mkAccess(Access::Store), t2);
+
+    // Mark only the first as reached.
+    m.transitionsForMutable(a, EventKey::mkAccess(Access::Load))
+        ->front()
+        .reached = true;
+    EXPECT_EQ(m.numReachedTransitions(), 1u);
+    m.pruneUnreached();
+    EXPECT_EQ(m.numTransitions(), 1u);
+    EXPECT_FALSE(m.hasTransition(b, EventKey::mkAccess(Access::Store)));
+}
+
+TEST(Machine, StallTransitionsNotCounted)
+{
+    Machine m("c", MachineRole::Cache);
+    StateId a = m.addState(State{.name = "A"});
+    MsgTypeTable tbl;
+    MsgTypeId inv = tbl.add(mkType("Inv", MsgClass::Forward));
+    Transition t;
+    t.kind = TransKind::Stall;
+    t.next = a;
+    m.addTransition(a, EventKey::mkMsg(inv), t);
+    EXPECT_EQ(m.numTransitions(), 0u);
+}
+
+TEST(Machine, EventKeyOrdering)
+{
+    EventKey a = EventKey::mkAccess(Access::Load);
+    EventKey b = EventKey::mkMsg(0);
+    EventKey c = EventKey::mkMsg(0, FwdEpoch::Past);
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_EQ(b, EventKey::mkMsg(0));
+}
+
+TEST(Printer, MachineDumpMentionsStatesAndEvents)
+{
+    MsgTypeTable tbl;
+    MsgTypeId gets = tbl.add(mkType("GetS", MsgClass::Request));
+    Machine m("directory", MachineRole::Directory);
+    StateId i = m.addState(State{.name = "I"});
+    Transition t;
+    t.next = i;
+    t.ops = {Op::mk(OpCode::AddReqToSharers)};
+    m.addTransition(i, EventKey::mkMsg(gets), t);
+
+    std::ostringstream os;
+    printMachine(os, tbl, m);
+    std::string dump = os.str();
+    EXPECT_NE(dump.find("GetS"), std::string::npos);
+    EXPECT_NE(dump.find("AddReqToSharers"), std::string::npos);
+    EXPECT_NE(dump.find("directory"), std::string::npos);
+}
+
+} // namespace
+} // namespace hieragen

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the structural lint pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fsm/lint.hh"
+
+namespace hieragen
+{
+namespace
+{
+
+struct LintFixture
+{
+    MsgTypeTable msgs;
+    Machine m{"cache", MachineRole::Cache};
+    MsgTypeId data, inv, gets;
+    StateId sI, sT;
+
+    LintFixture()
+    {
+        MsgType t;
+        t.name = "GetS";
+        t.cls = MsgClass::Request;
+        gets = msgs.add(t);
+        t = {};
+        t.name = "Data";
+        t.cls = MsgClass::Response;
+        t.carriesData = true;
+        data = msgs.add(t);
+        t = {};
+        t.name = "Inv";
+        t.cls = MsgClass::Forward;
+        inv = msgs.add(t);
+
+        sI = m.addState(State{.name = "I"});
+        State tr;
+        tr.name = "IS";
+        tr.stable = false;
+        sT = m.addState(tr);
+        m.setInitial(sI);
+    }
+};
+
+TEST(Lint, CleanMachinePasses)
+{
+    LintFixture f;
+    Transition t;
+    t.ops = {Op::mk(OpCode::CopyDataFromMsg)};
+    t.next = f.sI;
+    f.m.addTransition(f.sT, EventKey::mkMsg(f.data), t);
+    Transition req;
+    req.next = f.sT;
+    f.m.addTransition(f.sI, EventKey::mkAccess(Access::Load), req);
+    EXPECT_TRUE(lintMachine(f.msgs, f.m).empty());
+}
+
+TEST(Lint, FlagsStalledResponse)
+{
+    LintFixture f;
+    Transition t;
+    t.kind = TransKind::Stall;
+    t.next = f.sT;
+    f.m.addTransition(f.sT, EventKey::mkMsg(f.data), t);
+    auto issues = lintMachine(f.msgs, f.m);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(formatIssues(issues).find("stalled"), std::string::npos);
+}
+
+TEST(Lint, FlagsDataOnNonDataMessage)
+{
+    LintFixture f;
+    Transition t;
+    t.ops = {Op::mkSend(f.inv, Dst::MsgSrc, ReqField::None,
+                        AckPayload::None, /*with_data=*/true)};
+    t.next = f.sI;
+    f.m.addTransition(f.sI, EventKey::mkMsg(f.gets), t);
+    auto issues = lintMachine(f.msgs, f.m);
+    EXPECT_NE(formatIssues(issues).find("data attached"),
+              std::string::npos);
+}
+
+TEST(Lint, FlagsEpochOnNonForward)
+{
+    LintFixture f;
+    Op send = Op::mkSend(f.data, Dst::MsgSrc);
+    send.send.epoch = FwdEpoch::Past;
+    send.send.withData = true;
+    Transition t;
+    t.ops = {send};
+    t.next = f.sI;
+    f.m.addTransition(f.sI, EventKey::mkMsg(f.gets), t);
+    auto issues = lintMachine(f.msgs, f.m);
+    EXPECT_NE(formatIssues(issues).find("epoch tag"),
+              std::string::npos);
+}
+
+TEST(Lint, FlagsStarvedTransient)
+{
+    LintFixture f;
+    // Transient only consumes a forward, never a response.
+    Transition t;
+    t.next = f.sI;
+    f.m.addTransition(f.sT, EventKey::mkMsg(f.inv), t);
+    auto issues = lintMachine(f.msgs, f.m);
+    EXPECT_NE(formatIssues(issues).find("no response"),
+              std::string::npos);
+}
+
+TEST(Lint, FlagsOneSidedGuard)
+{
+    LintFixture f;
+    Transition t;
+    t.guard = Guard::AcksZero;  // no AcksPending complement
+    t.ops = {Op::mk(OpCode::CopyDataFromMsg)};
+    t.next = f.sI;
+    f.m.addTransition(f.sT, EventKey::mkMsg(f.data), t);
+    auto issues = lintMachine(f.msgs, f.m);
+    EXPECT_NE(formatIssues(issues).find("dead-end"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace hieragen

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the Murphi backend: the emitted model must be complete
+ * and structurally well-formed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hiera.hh"
+#include "murphi/emit.hh"
+#include "protocols/registry.hh"
+#include "protogen/concurrent.hh"
+
+namespace hieragen
+{
+namespace
+{
+
+size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    size_t n = 0;
+    size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        ++n;
+        pos += needle.size();
+    }
+    return n;
+}
+
+TEST(MurphiFlat, HasAllSections)
+{
+    Protocol p = protocols::builtinProtocol("MSI");
+    std::string m = murphi::emitFlat(p);
+    for (const char *section :
+         {"const", "type", "var", "startstate", "invariant",
+          "procedure SendMsg", "MsgType: enum"}) {
+        EXPECT_NE(m.find(section), std::string::npos) << section;
+    }
+}
+
+TEST(MurphiFlat, EnumeratesStatesAndMessages)
+{
+    Protocol p = protocols::builtinProtocol("MSI");
+    std::string m = murphi::emitFlat(p);
+    EXPECT_NE(m.find("Msg_GetS"), std::string::npos);
+    EXPECT_NE(m.find("Msg_InvAck"), std::string::npos);
+    EXPECT_NE(m.find("cache_I"), std::string::npos);
+    EXPECT_NE(m.find("cache_I_store_w0"), std::string::npos);
+    EXPECT_NE(m.find("directory_M"), std::string::npos);
+}
+
+TEST(MurphiFlat, OneRulePerExecuteTransition)
+{
+    Protocol p = protocols::builtinProtocol("MI");
+    std::string m = murphi::emitFlat(p);
+    size_t rules = countOccurrences(m, "rule \"");
+    EXPECT_EQ(rules,
+              p.cache.numTransitions() + p.directory.numTransitions());
+}
+
+TEST(MurphiFlat, InvariantsPresent)
+{
+    Protocol p = protocols::builtinProtocol("MESI");
+    std::string m = murphi::emitFlat(p);
+    EXPECT_NE(m.find("invariant \"SWMR_cl\""), std::string::npos);
+    EXPECT_NE(m.find("invariant \"DataValue_cl\""), std::string::npos);
+    // The silently upgradeable E state must count as a writer.
+    size_t swmr = m.find("invariant \"SWMR_cl\"");
+    size_t body_end = m.find(";", swmr);
+    std::string body = m.substr(swmr, body_end - swmr);
+    EXPECT_NE(body.find("cache_E"), std::string::npos);
+}
+
+TEST(MurphiHier, EmitsAllFourControllers)
+{
+    Protocol l = protocols::builtinProtocol("MSI");
+    Protocol h = protocols::builtinProtocol("MSI");
+    core::HierGenOptions opts;
+    HierProtocol p = core::generate(l, h, opts);
+    std::string m = murphi::emitHier(p);
+    for (const char *frag :
+         {"cache_LState", "cache_HState", "dircacheState", "rootState",
+          "Msg_GetS_L", "Msg_GetS_H"}) {
+        EXPECT_NE(m.find(frag), std::string::npos) << frag;
+    }
+}
+
+TEST(MurphiHier, ConcurrentModelMentionsEpochs)
+{
+    Protocol l = protocols::builtinProtocol("MSI");
+    Protocol h = protocols::builtinProtocol("MSI");
+    core::HierGenOptions opts;
+    opts.mode = ConcurrencyMode::NonStalling;
+    HierProtocol p = core::generate(l, h, opts);
+    std::string m = murphi::emitHier(p);
+    EXPECT_NE(m.find("EpPast"), std::string::npos);
+    EXPECT_NE(m.find("EpFuture"), std::string::npos);
+    EXPECT_NE(m.find("non-stalling"), std::string::npos);
+}
+
+TEST(MurphiFlat, DeterministicOutput)
+{
+    Protocol p = protocols::builtinProtocol("MOSI");
+    EXPECT_EQ(murphi::emitFlat(p), murphi::emitFlat(p));
+}
+
+} // namespace
+} // namespace hieragen

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests of the built-in flat protocols (the paper's Table I inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fsm/printer.hh"
+#include "protocols/registry.hh"
+#include "util/logging.hh"
+
+namespace hieragen
+{
+namespace
+{
+
+class BuiltinProtocols : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BuiltinProtocols, Compiles)
+{
+    Protocol p = protocols::builtinProtocol(GetParam());
+    EXPECT_EQ(p.name, GetParam());
+    EXPECT_GT(p.cache.numStates(), 0u);
+    EXPECT_GT(p.directory.numStates(), 0u);
+}
+
+TEST_P(BuiltinProtocols, StableStateCountMatchesName)
+{
+    Protocol p = protocols::builtinProtocol(GetParam());
+    // MI=2, MSI=3, MESI/MOSI=4, MOESI=5 stable states at the cache.
+    EXPECT_EQ(p.cache.numStableStates(), GetParam().size());
+    EXPECT_EQ(p.directory.numStableStates(), GetParam().size());
+}
+
+TEST_P(BuiltinProtocols, InitialIsInvalid)
+{
+    Protocol p = protocols::builtinProtocol(GetParam());
+    EXPECT_EQ(p.cache.state(p.cache.initial()).name, "I");
+    EXPECT_EQ(p.cache.state(p.cache.initial()).perm, Perm::None);
+}
+
+TEST_P(BuiltinProtocols, EveryStableStateHasLoadPathFromInvalid)
+{
+    Protocol p = protocols::builtinProtocol(GetParam());
+    const CacheAccessPath *load = p.info.pathFromInvalid(Access::Load);
+    ASSERT_NE(load, nullptr);
+    EXPECT_FALSE(load->hit);
+    EXPECT_NE(load->request, kNoMsgType);
+    const CacheAccessPath *store = p.info.pathFromInvalid(Access::Store);
+    ASSERT_NE(store, nullptr);
+    EXPECT_NE(store->request, kNoMsgType);
+}
+
+TEST_P(BuiltinProtocols, StorePathEndsWritable)
+{
+    Protocol p = protocols::builtinProtocol(GetParam());
+    const CacheAccessPath *store = p.info.pathFromInvalid(Access::Store);
+    ASSERT_NE(store, nullptr);
+    for (StateId f : store->finalStates)
+        EXPECT_EQ(p.cache.state(f).perm, Perm::ReadWrite);
+}
+
+TEST_P(BuiltinProtocols, RequestPermsAreDerived)
+{
+    Protocol p = protocols::builtinProtocol(GetParam());
+    const CacheAccessPath *store = p.info.pathFromInvalid(Access::Store);
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(p.info.requestPerm.at(store->request), Perm::ReadWrite);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BuiltinProtocols,
+                         ::testing::Values("MI", "MSI", "MESI", "MOSI",
+                                           "MOESI"));
+
+TEST(BuiltinRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(protocols::builtinProtocol("MOXIE"), FatalError);
+}
+
+TEST(BuiltinRegistry, NamesInComplexityOrder)
+{
+    auto names = protocols::builtinNames();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names.front(), "MI");
+    EXPECT_EQ(names.back(), "MOESI");
+}
+
+TEST(SilentUpgrade, DetectedExactlyInEProtocols)
+{
+    EXPECT_FALSE(protocols::builtinProtocol("MI").info.hasSilentUpgrade);
+    EXPECT_FALSE(
+        protocols::builtinProtocol("MSI").info.hasSilentUpgrade);
+    EXPECT_FALSE(
+        protocols::builtinProtocol("MOSI").info.hasSilentUpgrade);
+
+    Protocol mesi = protocols::builtinProtocol("MESI");
+    EXPECT_TRUE(mesi.info.hasSilentUpgrade);
+    ASSERT_EQ(mesi.info.silentUpgradeStates.size(), 1u);
+    EXPECT_EQ(mesi.cache.state(mesi.info.silentUpgradeStates[0]).name,
+              "E");
+
+    Protocol moesi = protocols::builtinProtocol("MOESI");
+    EXPECT_TRUE(moesi.info.hasSilentUpgrade);
+}
+
+TEST(SilentUpgrade, MaxPermOfGetSIsRWInMesi)
+{
+    Protocol mesi = protocols::builtinProtocol("MESI");
+    MsgTypeId gets = mesi.msgs.find("GetS", Level::Lower);
+    EXPECT_EQ(mesi.info.requestPerm.at(gets), Perm::Read);
+    EXPECT_EQ(mesi.info.requestMaxPerm.at(gets), Perm::ReadWrite);
+
+    Protocol msi = protocols::builtinProtocol("MSI");
+    MsgTypeId gets2 = msi.msgs.find("GetS", Level::Lower);
+    EXPECT_EQ(msi.info.requestMaxPerm.at(gets2), Perm::Read);
+}
+
+TEST(FlatComplexity, GrowsWithProtocolFamily)
+{
+    size_t prev_cache = 0;
+    for (const auto &name : protocols::builtinNames()) {
+        Protocol p = protocols::builtinProtocol(name);
+        size_t ct = p.cache.numTransitions();
+        EXPECT_GT(ct, prev_cache)
+            << name << " should be more complex than its predecessor";
+        prev_cache = ct;
+    }
+}
+
+TEST(FlatComplexity, MosiOwnerUpgradeUsesAckCount)
+{
+    Protocol p = protocols::builtinProtocol("MOSI");
+    MsgTypeId ackcnt = p.msgs.find("AckCount", Level::Lower);
+    ASSERT_NE(ackcnt, kNoMsgType);
+    StateId o = p.cache.findState("O");
+    ASSERT_NE(o, kNoState);
+    auto it = p.info.cachePaths.find({o, Access::Store});
+    ASSERT_NE(it, p.info.cachePaths.end());
+    EXPECT_FALSE(it->second.hit);
+}
+
+} // namespace
+} // namespace hieragen
+
+namespace hieragen
+{
+namespace
+{
+
+// --- Section VII-B: silent eviction handled in the input SSP. ---
+
+TEST(SilentEviction, CompilesAndHasNoPutS)
+{
+    Protocol p = protocols::builtinProtocol("MSI_SE");
+    EXPECT_EQ(p.msgs.find("PutS", Level::Lower), kNoMsgType);
+    StateId s = p.cache.findState("S");
+    MsgTypeId inv = p.msgs.find("Inv", Level::Lower);
+    // Silent eviction: S+evict is a hit-style transition.
+    auto it = p.info.cachePaths.find({s, Access::Evict});
+    ASSERT_NE(it, p.info.cachePaths.end());
+    EXPECT_TRUE(it->second.hit);
+    // Stray invalidations are acknowledged from I.
+    StateId i = p.cache.findState("I");
+    EXPECT_TRUE(p.cache.hasTransition(i, EventKey::mkMsg(inv)));
+}
+
+TEST(SilentEviction, NotInDefaultNameList)
+{
+    auto names = protocols::builtinNames();
+    EXPECT_EQ(std::count(names.begin(), names.end(), "MSI_SE"), 0)
+        << "MSI_SE is an extension, not a paper-table protocol";
+}
+
+} // namespace
+} // namespace hieragen

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Step-2 tests on flat protocols: concurrent variants must stay safe
+ * and deadlock-free under full interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocols/registry.hh"
+#include "protogen/concurrent.hh"
+#include "verif/checker.hh"
+
+namespace hieragen
+{
+namespace
+{
+
+verif::CheckOptions
+concurrentOpts(int budget = 2)
+{
+    verif::CheckOptions o;
+    o.atomicTransactions = false;
+    o.accessBudget = budget;
+    return o;
+}
+
+std::string
+traceOf(const verif::CheckResult &r)
+{
+    std::string out = r.summary() + "\n";
+    size_t start = r.trace.size() > 40 ? r.trace.size() - 40 : 0;
+    for (size_t i = start; i < r.trace.size(); ++i)
+        out += r.trace[i] + "\n";
+    return out;
+}
+
+struct Combo
+{
+    std::string protocol;
+    ConcurrencyMode mode;
+};
+
+class FlatConcurrent
+    : public ::testing::TestWithParam<std::tuple<std::string,
+                                                 ConcurrencyMode>>
+{
+};
+
+TEST_P(FlatConcurrent, TwoCachesFullInterleaving)
+{
+    auto [name, mode] = GetParam();
+    Protocol atomic = protocols::builtinProtocol(name);
+    Protocol conc = protogen::makeConcurrent(atomic, mode);
+    auto r = verif::checkFlat(conc, 2, concurrentOpts());
+    EXPECT_TRUE(r.ok) << name << "/" << toString(mode) << "\n"
+                      << traceOf(r);
+}
+
+TEST_P(FlatConcurrent, ThreeCachesFullInterleaving)
+{
+    auto [name, mode] = GetParam();
+    Protocol atomic = protocols::builtinProtocol(name);
+    Protocol conc = protogen::makeConcurrent(atomic, mode);
+    auto r = verif::checkFlat(conc, 3, concurrentOpts());
+    EXPECT_TRUE(r.ok) << name << "/" << toString(mode) << "\n"
+                      << traceOf(r);
+}
+
+TEST_P(FlatConcurrent, ExploresMoreThanAtomicMode)
+{
+    auto [name, mode] = GetParam();
+    Protocol atomic = protocols::builtinProtocol(name);
+    Protocol conc = protogen::makeConcurrent(atomic, mode);
+
+    verif::CheckOptions at;
+    at.atomicTransactions = true;
+    at.accessBudget = 2;
+    auto r_atomic = verif::checkFlat(conc, 2, at);
+    auto r_conc = verif::checkFlat(conc, 2, concurrentOpts());
+    ASSERT_TRUE(r_atomic.ok) << traceOf(r_atomic);
+    ASSERT_TRUE(r_conc.ok) << traceOf(r_conc);
+    EXPECT_GT(r_conc.statesExplored, r_atomic.statesExplored);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, FlatConcurrent,
+    ::testing::Combine(::testing::Values("MI", "MSI", "MESI", "MOSI",
+                                         "MOESI"),
+                       ::testing::Values(ConcurrencyMode::Stalling,
+                                         ConcurrencyMode::NonStalling)));
+
+TEST(ProtogenStats, StaleRulesAndRacesGenerated)
+{
+    Protocol atomic = protocols::builtinProtocol("MSI");
+    protogen::ConcurrencyStats st;
+    Protocol conc = protogen::makeConcurrent(
+        atomic, ConcurrencyMode::NonStalling, &st);
+    EXPECT_GT(st.staleEvictionRules, 0u);
+    EXPECT_GT(st.pastRaceTransitions, 0u);
+    EXPECT_GT(st.futureDeferStates, 0u);
+    EXPECT_GT(st.dirStallTransitions, 0u);
+}
+
+TEST(ProtogenStats, StallingStallsInsteadOfDeferring)
+{
+    Protocol atomic = protocols::builtinProtocol("MSI");
+    protogen::ConcurrencyStats st;
+    Protocol conc = protogen::makeConcurrent(
+        atomic, ConcurrencyMode::Stalling, &st);
+    EXPECT_EQ(st.futureDeferStates, 0u);
+    EXPECT_GT(st.futureStallTransitions, 0u);
+}
+
+TEST(ProtogenStats, NonStallingHasMoreStatesThanStalling)
+{
+    for (const auto &name : protocols::builtinNames()) {
+        Protocol atomic = protocols::builtinProtocol(name);
+        Protocol stall = protogen::makeConcurrent(
+            atomic, ConcurrencyMode::Stalling);
+        Protocol nostall = protogen::makeConcurrent(
+            atomic, ConcurrencyMode::NonStalling);
+        EXPECT_GE(nostall.cache.numStates(), stall.cache.numStates())
+            << name;
+    }
+}
+
+TEST(ProtogenEpochs, DirectoryForwardsAreTagged)
+{
+    Protocol atomic = protocols::builtinProtocol("MOSI");
+    Protocol conc =
+        protogen::makeConcurrent(atomic, ConcurrencyMode::NonStalling);
+    // Dir O (owner-stable) forwards Past; dir M forwards Future.
+    StateId o = conc.directory.findState("O");
+    StateId m = conc.directory.findState("M");
+    MsgTypeId getm = conc.msgs.find("GetM", Level::Lower);
+    bool saw_past = false;
+    bool saw_future = false;
+    for (StateId d : {o, m}) {
+        const auto *alts =
+            conc.directory.transitionsFor(d, EventKey::mkMsg(getm));
+        ASSERT_NE(alts, nullptr);
+        for (const auto &t : *alts) {
+            for (const Op &op : t.ops) {
+                if (op.code == OpCode::Send &&
+                    conc.msgs[op.send.type].cls == MsgClass::Forward &&
+                    op.send.dst == Dst::Owner) {
+                    saw_past =
+                        saw_past || (d == o &&
+                                     op.send.epoch == FwdEpoch::Past);
+                    saw_future = saw_future ||
+                                 (d == m && op.send.epoch ==
+                                                FwdEpoch::Future);
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(saw_past);
+    EXPECT_TRUE(saw_future);
+}
+
+TEST(ProtogenMerge, MergePassIdempotent)
+{
+    Protocol atomic = protocols::builtinProtocol("MESI");
+    Protocol conc =
+        protogen::makeConcurrent(atomic, ConcurrencyMode::NonStalling);
+    EXPECT_EQ(protogen::mergeEquivalentStates(conc.cache), 0u)
+        << "second merge pass should find nothing";
+}
+
+} // namespace
+} // namespace hieragen
+
+namespace hieragen
+{
+namespace
+{
+
+TEST(SilentEvictionVerify, FlatConcurrentBothModes)
+{
+    for (auto mode :
+         {ConcurrencyMode::Stalling, ConcurrencyMode::NonStalling}) {
+        Protocol p = protogen::makeConcurrent(
+            protocols::builtinProtocol("MSI_SE"), mode);
+        auto r = verif::checkFlat(p, 3, concurrentOpts());
+        EXPECT_TRUE(r.ok) << toString(mode) << "\n" << traceOf(r);
+    }
+}
+
+} // namespace
+} // namespace hieragen

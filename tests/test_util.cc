@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the utility layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace hieragen
+{
+namespace
+{
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitSingleField)
+{
+    auto parts = split("alone", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, TrimBothEnds)
+{
+    EXPECT_EQ(trim("  x y \t\n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("FwdGetS", "Fwd"));
+    EXPECT_FALSE(startsWith("Fwd", "FwdGetS"));
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Strings, PadTo)
+{
+    EXPECT_EQ(padTo("ab", 4), "ab  ");
+    EXPECT_EQ(padTo("abcdef", 4), "abcdef");
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad input ", 42), FatalError);
+    try {
+        fatal("code ", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "code 7");
+    }
+}
+
+TEST(Logging, LevelsGate)
+{
+    setLogLevel(LogLevel::Quiet);
+    inform("should not crash");
+    warn("should not crash");
+    setLogLevel(LogLevel::Warn);
+}
+
+} // namespace
+} // namespace hieragen

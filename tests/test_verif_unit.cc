@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the verification substrate itself: state encoding
+ * canonicalization, ordered-channel delivery, and system layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocols/registry.hh"
+#include "verif/system.hh"
+
+namespace hieragen
+{
+namespace
+{
+
+struct VerifFixture
+{
+    Protocol p = protocols::builtinProtocol("MSI");
+    verif::System sys = verif::buildFlatSystem(p, 3);
+    MsgTypeId gets, inv, putack;
+
+    VerifFixture()
+    {
+        gets = p.msgs.find("GetS", Level::Lower);
+        inv = p.msgs.find("Inv", Level::Lower);
+        putack = p.msgs.find("PutAck", Level::Lower);
+    }
+
+    Msg
+    mk(MsgTypeId t, NodeId src, NodeId dst)
+    {
+        Msg m;
+        m.type = t;
+        m.src = src;
+        m.dst = dst;
+        return m;
+    }
+};
+
+TEST(VerifSystem, FlatLayout)
+{
+    VerifFixture f;
+    EXPECT_EQ(f.sys.nodes.size(), 4u);
+    EXPECT_EQ(f.sys.leafCaches.size(), 3u);
+    EXPECT_EQ(f.sys.nodes[0].parent, kNoNode);
+    EXPECT_EQ(f.sys.nodes[1].parent, 0);
+    EXPECT_TRUE(f.sys.nodes[1].leafCache);
+    EXPECT_FALSE(f.sys.nodes[0].leafCache);
+}
+
+TEST(VerifSystem, InitialStateHasMemoryAtDirectory)
+{
+    VerifFixture f;
+    auto st = verif::initialState(f.sys, 2);
+    EXPECT_TRUE(st.blocks[0].hasData);
+    EXPECT_FALSE(st.blocks[1].hasData);
+    EXPECT_TRUE(st.quiescent(f.sys));
+}
+
+TEST(VerifSystem, EncodingIsOrderInsensitiveForUnorderedMsgs)
+{
+    VerifFixture f;
+    auto a = verif::initialState(f.sys, 2);
+    auto b = verif::initialState(f.sys, 2);
+    Msg m1 = f.mk(f.gets, 1, 0);
+    Msg m2 = f.mk(f.gets, 2, 0);
+    a.insertMsg(m1);
+    a.insertMsg(m2);
+    b.insertMsg(m2);
+    b.insertMsg(m1);
+    EXPECT_EQ(a.encode(), b.encode());
+}
+
+TEST(VerifSystem, EncodingPreservesOrderedChannelOrder)
+{
+    VerifFixture f;
+    auto a = verif::initialState(f.sys, 2);
+    auto b = verif::initialState(f.sys, 2);
+    // Two ordered (forward-class) messages on the same channel in
+    // opposite send orders are different states.
+    Msg inv = f.mk(f.inv, 0, 1);
+    Msg ack = f.mk(f.putack, 0, 1);  // eviction ack: ordered vnet
+    a.insertMsg(inv);
+    a.insertMsg(ack);
+    b.insertMsg(ack);
+    b.insertMsg(inv);
+    EXPECT_NE(a.encode(), b.encode());
+}
+
+TEST(VerifSystem, OrderedHeadOnlyDeliverable)
+{
+    VerifFixture f;
+    auto st = verif::initialState(f.sys, 2);
+    st.insertMsg(f.mk(f.inv, 0, 1));
+    st.insertMsg(f.mk(f.putack, 0, 1));
+    int deliverable = 0;
+    for (size_t i = 0; i < st.msgs.size(); ++i) {
+        if (st.deliverable(f.p.msgs, i))
+            ++deliverable;
+    }
+    EXPECT_EQ(deliverable, 1) << "only the channel head may deliver";
+}
+
+TEST(VerifSystem, UnorderedMsgsAlwaysDeliverable)
+{
+    VerifFixture f;
+    auto st = verif::initialState(f.sys, 2);
+    st.insertMsg(f.mk(f.gets, 1, 0));
+    st.insertMsg(f.mk(f.gets, 2, 0));
+    for (size_t i = 0; i < st.msgs.size(); ++i)
+        EXPECT_TRUE(st.deliverable(f.p.msgs, i));
+}
+
+TEST(VerifSystem, DifferentChannelsDoNotBlock)
+{
+    VerifFixture f;
+    auto st = verif::initialState(f.sys, 2);
+    st.insertMsg(f.mk(f.inv, 0, 1));
+    st.insertMsg(f.mk(f.inv, 0, 2));  // different destination
+    for (size_t i = 0; i < st.msgs.size(); ++i)
+        EXPECT_TRUE(st.deliverable(f.p.msgs, i));
+}
+
+TEST(VerifSystem, RemoveMsgKeepsOthers)
+{
+    VerifFixture f;
+    auto st = verif::initialState(f.sys, 2);
+    st.insertMsg(f.mk(f.gets, 1, 0));
+    st.insertMsg(f.mk(f.gets, 2, 0));
+    st.removeMsg(0);
+    EXPECT_EQ(st.msgs.size(), 1u);
+}
+
+TEST(VerifSystem, BudgetInEncoding)
+{
+    VerifFixture f;
+    auto a = verif::initialState(f.sys, 2);
+    auto b = verif::initialState(f.sys, 2);
+    b.budget[0] = 1;
+    EXPECT_NE(a.encode(), b.encode());
+}
+
+TEST(VerifSystem, HierLayout)
+{
+    Protocol l = protocols::builtinProtocol("MSI");
+    Protocol h = protocols::builtinProtocol("MSI");
+    // buildHierSystem needs a HierProtocol; cheap structural check via
+    // the composer is covered in test_compose; here check bounds.
+    verif::System sys = verif::buildFlatSystem(l, 1);
+    EXPECT_EQ(sys.nodes.size(), 2u);
+    (void)h;
+}
+
+} // namespace
+} // namespace hieragen

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/workload.hh"
+
+namespace hieragen::sim
+{
+namespace
+{
+
+TEST(Rng, DeterministicAndSpread)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    Rng c(43);
+    EXPECT_NE(Rng(42).next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(30);
+    EXPECT_GT(hits, 2500);
+    EXPECT_LT(hits, 3500);
+}
+
+TEST(Workload, BlocksInRange)
+{
+    for (Pattern p :
+         {Pattern::UniformRandom, Pattern::ProducerConsumer,
+          Pattern::Migratory, Pattern::PrivateBlocks}) {
+        Workload w(p, 2, 4, 16, 99);
+        for (uint64_t t = 0; t < 500; ++t) {
+            WorkItem item = w.next(t);
+            EXPECT_GE(item.block, 0) << toString(p);
+            EXPECT_LT(item.block, 16) << toString(p);
+        }
+    }
+}
+
+TEST(Workload, ProducerConsumerWritersAreProducers)
+{
+    // Core c only stores to blocks with block % numCores == c.
+    Workload w(Pattern::ProducerConsumer, 1, 4, 16, 5);
+    for (uint64_t t = 0; t < 2000; ++t) {
+        WorkItem item = w.next(t);
+        if (item.access == Access::Store) {
+            EXPECT_EQ(item.block % 4, 1);
+        }
+    }
+}
+
+TEST(Workload, PrivateBlocksMostlyLocal)
+{
+    Workload w(Pattern::PrivateBlocks, 0, 4, 16, 3);
+    int local = 0;
+    int total = 0;
+    for (uint64_t t = 0; t < 2000; ++t) {
+        WorkItem item = w.next(t);
+        ++total;
+        if (item.block < 4)  // core 0's slice of 16/4 blocks
+            ++local;
+    }
+    EXPECT_GT(local * 100, total * 80);
+}
+
+TEST(Workload, StorePctRespected)
+{
+    Workload never(Pattern::UniformRandom, 0, 4, 8, 1, /*store_pct=*/0);
+    for (uint64_t t = 0; t < 500; ++t)
+        EXPECT_NE(never.next(t).access, Access::Store);
+}
+
+} // namespace
+} // namespace hieragen::sim
