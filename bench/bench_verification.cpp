@@ -4,29 +4,139 @@
  * generated protocol is checked for safety and deadlock freedom in
  * the paper's configurations, including hash compaction with
  * multiplied omission probabilities for the larger configuration.
+ *
+ * Also the perf harness for the checker itself: each configuration is
+ * timed and reported in states/sec, the thread count is selectable
+ * with --threads N, and a machine-readable BENCH_verification.json is
+ * written so the perf trajectory can be tracked across PRs. The
+ * MSI/MSI non-stalling 2H+2L check is additionally run single- and
+ * multi-threaded to record the parallel speedup.
  */
 
+#include <chrono>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.hh"
 
 using namespace hieragen;
+
+namespace
+{
+
+struct Measurement
+{
+    std::string protocol;
+    std::string variant;
+    std::string config;
+    unsigned threads = 1;
+    bool ok = false;
+    uint64_t states = 0;
+    double ms = 0.0;
+    double statesPerSec = 0.0;
+    double omission = 0.0;
+};
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+Measurement
+runConfig(const HierProtocol &p, const std::string &proto,
+          const std::string &variant, const std::string &config,
+          int nh, int nl, const verif::CheckOptions &opts,
+          unsigned threads)
+{
+    verif::CheckOptions o = opts;
+    o.numThreads = threads;
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = verif::checkHier(p, nh, nl, o);
+    Measurement m;
+    m.protocol = proto;
+    m.variant = variant;
+    m.config = config;
+    m.threads = threads;
+    m.ok = r.ok;
+    m.states = r.statesExplored;
+    m.ms = msSince(t0);
+    m.statesPerSec =
+        m.ms > 0 ? static_cast<double>(r.statesExplored) * 1e3 / m.ms
+                 : 0.0;
+    m.omission = r.omissionProbability;
+    return m;
+}
+
+void
+writeJson(const std::vector<Measurement> &rows, unsigned threads,
+          double speedup, const std::string &path)
+{
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"verification\",\n";
+    out << "  \"threads\": " << threads << ",\n";
+    out << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"msi_msi_nonstalling_2h2l_speedup\": " << std::fixed
+        << std::setprecision(3) << speedup << ",\n";
+    out << "  \"configs\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Measurement &m = rows[i];
+        out << "    {\"protocol\": \"" << m.protocol
+            << "\", \"variant\": \"" << m.variant
+            << "\", \"config\": \"" << m.config
+            << "\", \"threads\": " << m.threads << ", \"ok\": "
+            << (m.ok ? "true" : "false") << ", \"states\": " << m.states
+            << ", \"ms\": " << std::fixed << std::setprecision(2)
+            << m.ms << ", \"states_per_sec\": " << std::setprecision(0)
+            << m.statesPerSec << ", \"omission\": "
+            << std::scientific << std::setprecision(3) << m.omission
+            << "}";
+        out << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     // Full sweep is slow; default to the stalling variants plus the
     // MSI/MSI non-stalling flagship unless --full is given.
-    bool full = argc > 1 && std::string(argv[1]) == "--full";
+    bool full = false;
+    unsigned threads = 0;  // 0 = hardware concurrency
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--full") {
+            full = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--full] [--threads N]\n";
+            return 2;
+        }
+    }
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
 
-    std::cout << "Section VIII-C: verification of generated "
-                 "protocols\n\n";
+    std::cout << "Section VIII-C: verification of generated protocols ("
+              << threads << " thread" << (threads == 1 ? "" : "s")
+              << ")\n\n";
     std::cout << std::left << std::setw(14) << "protocol"
-              << std::setw(14) << "variant" << std::setw(26)
-              << "config A (2H+2L exact)" << std::setw(30)
+              << std::setw(14) << "variant" << std::setw(34)
+              << "config A (2H+2L exact)" << std::setw(38)
               << "config B (2H+3L compacted)" << "\n";
 
+    std::vector<Measurement> rows;
     bool all_ok = true;
     for (const auto &[lo, hi] : bench::tableCombos()) {
         std::vector<ConcurrencyMode> modes{ConcurrencyMode::Stalling};
@@ -38,12 +148,15 @@ main(int argc, char **argv)
             core::HierGenOptions opts;
             opts.mode = mode;
             HierProtocol p = core::generate(l, h, opts);
+            std::string proto = lo + "/" + hi;
 
             verif::CheckOptions a;
             a.accessBudget = 2;
             a.traceOnError = false;
-            auto ra = verif::checkHier(p, 2, 2, a);
-            all_ok = all_ok && ra.ok;
+            Measurement ma = runConfig(p, proto, toString(mode),
+                                       "2H+2L exact", 2, 2, a, threads);
+            rows.push_back(ma);
+            all_ok = all_ok && ma.ok;
 
             // Config B: one more cache-L with hash compaction;
             // two runs with independent hash functions multiply the
@@ -53,30 +166,71 @@ main(int argc, char **argv)
             b.hashCompaction = true;
             b.traceOnError = false;
             double omission = 1.0;
-            uint64_t states_b = 0;
+            Measurement mb;
             bool ok_b = true;
             for (uint64_t seed : {0xAB12ull, 0xCD34ull}) {
                 b.compactionSeed = seed;
-                auto rb = verif::checkHier(p, 2, 3, b);
-                ok_b = ok_b && rb.ok;
-                omission *= rb.omissionProbability;
-                states_b = rb.statesExplored;
+                Measurement run =
+                    runConfig(p, proto, toString(mode),
+                              "2H+3L compacted", 2, 3, b, threads);
+                ok_b = ok_b && run.ok;
+                omission *= run.omission;
+                run.ms += mb.ms;  // accumulate the two seed passes
+                mb = run;
             }
+            mb.ok = ok_b;
+            mb.omission = omission;
+            mb.statesPerSec = mb.ms > 0
+                                  ? static_cast<double>(mb.states) *
+                                        2e3 / mb.ms
+                                  : 0.0;
+            rows.push_back(mb);
             all_ok = all_ok && ok_b;
 
             std::ostringstream cell_a;
-            cell_a << (ra.ok ? "PASS " : "FAIL ") << ra.statesExplored
-                   << " states";
+            cell_a << (ma.ok ? "PASS " : "FAIL ") << ma.states
+                   << " st, " << std::fixed << std::setprecision(0)
+                   << ma.statesPerSec << "/s";
             std::ostringstream cell_b;
-            cell_b << (ok_b ? "PASS " : "FAIL ") << states_b
-                   << " states, p<" << std::scientific
+            cell_b << (ok_b ? "PASS " : "FAIL ") << mb.states
+                   << " st, " << std::fixed << std::setprecision(0)
+                   << mb.statesPerSec << "/s, p<" << std::scientific
                    << std::setprecision(1) << omission;
-            std::cout << std::left << std::setw(14) << (lo + "/" + hi)
+            std::cout << std::left << std::setw(14) << proto
                       << std::setw(14) << toString(mode)
-                      << std::setw(26) << cell_a.str() << std::setw(30)
+                      << std::setw(34) << cell_a.str() << std::setw(38)
                       << cell_b.str() << "\n";
         }
     }
+
+    // Parallel speedup on the flagship check: MSI/MSI non-stalling,
+    // 2H+2L exact, 1 thread vs the configured thread count.
+    Protocol l = protocols::builtinProtocol("MSI");
+    Protocol h = protocols::builtinProtocol("MSI");
+    core::HierGenOptions gopts;
+    gopts.mode = ConcurrencyMode::NonStalling;
+    HierProtocol flagship = core::generate(l, h, gopts);
+    verif::CheckOptions fo;
+    fo.accessBudget = 2;
+    fo.traceOnError = false;
+    Measurement seq = runConfig(flagship, "MSI/MSI", "NonStalling",
+                                "2H+2L exact seq", 2, 2, fo, 1);
+    Measurement par = runConfig(flagship, "MSI/MSI", "NonStalling",
+                                "2H+2L exact par", 2, 2, fo, threads);
+    rows.push_back(seq);
+    rows.push_back(par);
+    all_ok = all_ok && seq.ok && par.ok &&
+             seq.states == par.states;
+    double speedup = par.ms > 0 ? seq.ms / par.ms : 0.0;
+    std::cout << "\nMSI/MSI non-stalling 2H+2L: 1 thread " << std::fixed
+              << std::setprecision(0) << seq.ms << " ms, " << threads
+              << " threads " << par.ms << " ms  (speedup "
+              << std::setprecision(2) << speedup << "x, "
+              << seq.states << " states both)\n";
+
+    writeJson(rows, threads, speedup, "BENCH_verification.json");
+    std::cout << "wrote BENCH_verification.json\n";
+
     std::cout << (all_ok ? "\nALL VERIFICATIONS PASS\n"
                          : "\nFAILURES PRESENT\n");
     return all_ok ? 0 : 1;

@@ -1,5 +1,6 @@
 #include "fsm/exec.hh"
 
+#include <atomic>
 #include <bit>
 
 #include "fsm/printer.hh"
@@ -334,7 +335,10 @@ deliverEvent(const NodeCtx &node, const MsgTypeTable &msgs,
         return StepResult::Stalled;
 
     if (mark_reached) {
-        chosen->reached = true;
+        // reached is a mutable flag on shared machines; checker
+        // workers run concurrently, so the mark must be atomic.
+        std::atomic_ref<bool>(chosen->reached)
+            .store(true, std::memory_order_relaxed);
         m.markStateReached(blk.state);
         if (chosen->next != kNoState)
             m.markStateReached(chosen->next);

@@ -1,6 +1,7 @@
 #include "fsm/machine.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 #include "util/logging.hh"
@@ -14,7 +15,7 @@ Machine::addState(const State &state)
     HG_ASSERT(findState(state.name) == kNoState,
               "duplicate state ", state.name, " in machine ", name_);
     states_.push_back(state);
-    stateReached_.push_back(false);
+    stateReached_.push_back(0);
     return static_cast<StateId>(states_.size() - 1);
 }
 
@@ -113,8 +114,9 @@ Machine::numReachedTransitions() const
 size_t
 Machine::numReachedStates() const
 {
-    return static_cast<size_t>(
-        std::count(stateReached_.begin(), stateReached_.end(), true));
+    return static_cast<size_t>(std::count_if(
+        stateReached_.begin(), stateReached_.end(),
+        [](unsigned char r) { return r != 0; }));
 }
 
 void
@@ -124,7 +126,7 @@ Machine::clearReachedMarks()
         for (auto &t : alts)
             t.reached = false;
     }
-    std::fill(stateReached_.begin(), stateReached_.end(), false);
+    std::fill(stateReached_.begin(), stateReached_.end(), 0);
 }
 
 void
@@ -159,13 +161,16 @@ Machine::markStateReached(StateId id) const
 {
     HG_ASSERT(id >= 0 && id < static_cast<StateId>(states_.size()),
               "bad state id in reach mark for ", name_);
-    stateReached_[id] = true;
+    // Parallel checker workers mark concurrently; a relaxed atomic
+    // store keeps this race-free (marks are only read after joining).
+    std::atomic_ref<unsigned char>(stateReached_[id])
+        .store(1, std::memory_order_relaxed);
 }
 
 bool
 Machine::stateReached(StateId id) const
 {
-    return stateReached_.at(id);
+    return stateReached_.at(id) != 0;
 }
 
 } // namespace hieragen

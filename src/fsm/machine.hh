@@ -127,7 +127,9 @@ struct Transition
     OpList ops;
     StateId next = kNoState;
 
-    /** Set by the reachability census (Section V-E pruning). */
+    /** Set by the reachability census (Section V-E pruning). Written
+     *  via std::atomic_ref so parallel checker workers may mark
+     *  concurrently. */
     mutable bool reached = false;
 };
 
@@ -211,7 +213,9 @@ class Machine
     StateId initial_ = kNoState;
     std::map<std::pair<StateId, EventKey>, std::vector<Transition>>
         table_;
-    mutable std::vector<bool> stateReached_;
+    /** Byte per state (not vector<bool>): elements are distinct
+     *  memory locations, markable concurrently via std::atomic_ref. */
+    mutable std::vector<unsigned char> stateReached_;
 };
 
 } // namespace hieragen

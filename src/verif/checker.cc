@@ -1,7 +1,12 @@
 #include "verif/checker.hh"
 
+#include <atomic>
+#include <condition_variable>
 #include <deque>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -81,20 +86,104 @@ class StateEnv : public hieragen::ExecEnv
     }
 };
 
+/** Quiescent with exhausted budgets: a legitimate end state. */
+bool
+isTerminalState(const System &sys, const SysState &st)
+{
+    if (!st.msgs.empty())
+        return false;
+    for (size_t i = 0; i < st.blocks.size(); ++i) {
+        if (!sys.nodes[i].machine->state(st.blocks[i].state).stable)
+            return false;
+    }
+    return true;
+}
+
+struct Violation
+{
+    std::string kind;
+    std::string detail;
+};
+
+/**
+ * State invariants shared by both exploration modes: global SWMR,
+ * the data-value invariant, and the empty-network transient deadlock.
+ * Returns the first violation in the same order the sequential
+ * checker has always reported them.
+ */
+std::optional<Violation>
+findViolation(const System &sys, const SysState &st)
+{
+    // Global SWMR over leaf caches in *stable* states. A silently
+    // upgradeable state (MESI E) counts as a writer.
+    int writers = 0;
+    int readers = 0;
+    for (NodeId c : sys.leafCaches) {
+        const Machine &m = *sys.nodes[c].machine;
+        const State &s = m.state(st.blocks[c].state);
+        if (!s.stable)
+            continue;
+        bool writable = s.perm == Perm::ReadWrite || s.silentUpgrade;
+        if (writable)
+            ++writers;
+        else if (s.perm == Perm::Read)
+            ++readers;
+    }
+    if (writers > 1 || (writers == 1 && readers > 0)) {
+        return Violation{"swmr",
+                         "SWMR violated: " + std::to_string(writers) +
+                             " writer(s), " + std::to_string(readers) +
+                             " concurrent reader(s)"};
+    }
+
+    // Data-value invariant: stable readable copies hold the value of
+    // the last committed store.
+    for (NodeId c : sys.leafCaches) {
+        const Machine &m = *sys.nodes[c].machine;
+        const State &s = m.state(st.blocks[c].state);
+        if (!s.stable || s.perm == Perm::None)
+            continue;
+        if (!st.blocks[c].hasData || st.blocks[c].data != st.ghost) {
+            return Violation{"data-value",
+                             "node " + std::to_string(c) + " in " +
+                                 s.name +
+                                 " holds stale or missing data"};
+        }
+    }
+
+    // A transient controller with an empty network can never make
+    // progress again: responses only flow as reactions to messages.
+    if (st.msgs.empty()) {
+        for (size_t i = 0; i < st.blocks.size(); ++i) {
+            const Machine &m = *sys.nodes[i].machine;
+            if (!m.state(st.blocks[i].state).stable) {
+                return Violation{
+                    "deadlock",
+                    "node " + std::to_string(i) +
+                        " stuck in transient state " +
+                        m.state(st.blocks[i].state).name +
+                        " with no messages in flight"};
+            }
+        }
+    }
+    return std::nullopt;
+}
+
 class Checker
 {
   public:
     Checker(const System &sys, const CheckOptions &opts)
-        : sys_(sys), opts_(opts)
+        : sys_(sys), opts_(opts),
+          tracing_(opts.traceOnError && !opts.hashCompaction)
     {}
 
     CheckResult
     run()
     {
         SysState init = initialState(sys_, opts_.accessBudget);
-        addState(init, SIZE_MAX, "init");
+        tryAdd(std::move(init), SIZE_MAX, "init");
 
-        while (head_ < frontier_.size()) {
+        while (tracing_ ? head_ < frontier_.size() : !queue_.empty()) {
             if (opts_.maxStates &&
                 result_.statesExplored >= opts_.maxStates) {
                 result_.hitStateLimit = true;
@@ -104,15 +193,25 @@ class Checker
                                  " states";
                 return finish(false);
             }
-            size_t idx = head_++;
-            SysState cur = frontier_[idx];
+            size_t idx = SIZE_MAX;
+            SysState cur;
+            if (tracing_) {
+                idx = head_++;
+                cur = frontier_[idx];
+            } else {
+                // Without traces no one revisits explored states, so
+                // pop-and-free instead of keeping the whole frontier
+                // resident (halves the memory of big exact runs).
+                cur = std::move(queue_.front());
+                queue_.pop_front();
+            }
             ++result_.statesExplored;
 
             size_t successors = expand(cur, idx);
             if (!result_.errorKind.empty())
                 return finish(false);
 
-            if (successors == 0 && !isTerminal(cur)) {
+            if (successors == 0 && !isTerminalState(sys_, cur)) {
                 fail("deadlock", "no enabled event", idx);
                 return finish(false);
             }
@@ -123,11 +222,14 @@ class Checker
   private:
     const System &sys_;
     const CheckOptions &opts_;
+    const bool tracing_;
     CheckResult result_;
 
-    // Frontier keeps full states; visited set keeps encodings or
-    // 64-bit signatures (hash compaction).
-    std::vector<SysState> frontier_;
+    // Tracing mode keeps every state (trace reconstruction walks
+    // parent links); otherwise states live only until expanded. The
+    // visited set keeps encodings or 64-bit signatures (compaction).
+    std::vector<SysState> frontier_;  ///< tracing mode only
+    std::deque<SysState> queue_;      ///< non-tracing mode only
     size_t head_ = 0;
     std::unordered_set<std::string> visited_;
     std::unordered_set<uint64_t> visitedHashes_;
@@ -135,21 +237,12 @@ class Checker
     // Trace support: parent index + event label per frontier entry.
     std::vector<std::pair<size_t, std::string>> parents_;
 
-    bool
-    isTerminal(const SysState &st) const
-    {
-        // Quiescent with exhausted budgets: a legitimate end state.
-        if (!st.msgs.empty())
-            return false;
-        for (size_t i = 0; i < st.blocks.size(); ++i) {
-            if (!sys_.nodes[i]
-                     .machine->state(st.blocks[i].state)
-                     .stable) {
-                return false;
-            }
-        }
-        return true;
-    }
+    // Per-run scratch, reused across every expansion. nextScratch_
+    // keeps its vector capacity across duplicate successors, so only
+    // states that are actually new pay an allocation.
+    std::string encScratch_;
+    std::vector<char> maskScratch_;
+    SysState nextScratch_;
 
     void
     fail(const std::string &kind, const std::string &detail, size_t idx)
@@ -172,25 +265,28 @@ class Checker
         result_.trace.assign(rev.rbegin(), rev.rend());
     }
 
-    bool
-    addState(const SysState &st, size_t parent, const std::string &how)
+    /** Dedup @p st; stores it and returns a pointer to the stored
+     *  copy if new, nullptr if seen before. */
+    const SysState *
+    tryAdd(SysState &&st, size_t parent, const std::string &how)
     {
         ++result_.statesGenerated;
-        std::string enc = st.encode();
+        st.encodeTo(encScratch_);
         if (opts_.hashCompaction) {
-            uint64_t h = hashState(enc, opts_.compactionSeed);
+            uint64_t h = hashState(encScratch_, opts_.compactionSeed);
             if (!visitedHashes_.insert(h).second)
-                return false;
+                return nullptr;
         } else {
-            if (!visited_.insert(std::move(enc)).second)
-                return false;
+            if (!visited_.insert(encScratch_).second)
+                return nullptr;
         }
-        frontier_.push_back(st);
-        parents_.emplace_back(parent,
-                              opts_.traceOnError && !opts_.hashCompaction
-                                  ? how
-                                  : std::string());
-        return true;
+        if (tracing_) {
+            frontier_.push_back(std::move(st));
+            parents_.emplace_back(parent, how);
+            return &frontier_.back();
+        }
+        queue_.push_back(std::move(st));
+        return &queue_.back();
     }
 
     /** Check state invariants; records failure and returns false. */
@@ -198,63 +294,9 @@ class Checker
     checkInvariants(const SysState &st, size_t parent,
                     const std::string &how)
     {
-        // Global SWMR over leaf caches in *stable* states. A silently
-        // upgradeable state (MESI E) counts as a writer.
-        int writers = 0;
-        int readers = 0;
-        for (NodeId c : sys_.leafCaches) {
-            const Machine &m = *sys_.nodes[c].machine;
-            const State &s = m.state(st.blocks[c].state);
-            if (!s.stable)
-                continue;
-            bool writable =
-                s.perm == Perm::ReadWrite || s.silentUpgrade;
-            if (writable)
-                ++writers;
-            else if (s.perm == Perm::Read)
-                ++readers;
-        }
-        if (writers > 1 || (writers == 1 && readers > 0)) {
-            failAfter("swmr",
-                      "SWMR violated: " + std::to_string(writers) +
-                          " writer(s), " + std::to_string(readers) +
-                          " concurrent reader(s)",
-                      parent, how, st);
+        if (auto v = findViolation(sys_, st)) {
+            failAfter(v->kind, v->detail, parent, how, st);
             return false;
-        }
-
-        // Data-value invariant: stable readable copies hold the value
-        // of the last committed store.
-        for (NodeId c : sys_.leafCaches) {
-            const Machine &m = *sys_.nodes[c].machine;
-            const State &s = m.state(st.blocks[c].state);
-            if (!s.stable || s.perm == Perm::None)
-                continue;
-            if (!st.blocks[c].hasData ||
-                st.blocks[c].data != st.ghost) {
-                failAfter("data-value",
-                          "node " + std::to_string(c) + " in " +
-                              s.name + " holds stale or missing data",
-                          parent, how, st);
-                return false;
-            }
-        }
-
-        // A transient controller with an empty network can never make
-        // progress again: responses only flow as reactions to messages.
-        if (st.msgs.empty()) {
-            for (size_t i = 0; i < st.blocks.size(); ++i) {
-                const Machine &m = *sys_.nodes[i].machine;
-                if (!m.state(st.blocks[i].state).stable) {
-                    failAfter("deadlock",
-                              "node " + std::to_string(i) +
-                                  " stuck in transient state " +
-                                  m.state(st.blocks[i].state).name +
-                                  " with no messages in flight",
-                              parent, how, st);
-                    return false;
-                }
-            }
         }
         return true;
     }
@@ -279,23 +321,21 @@ class Checker
         size_t successors = 0;
 
         // 1. Message deliveries.
+        cur.deliverableMask(*sys_.msgs, maskScratch_);
         for (size_t mi = 0; mi < cur.msgs.size(); ++mi) {
-            if (!cur.deliverable(*sys_.msgs, mi))
+            if (!maskScratch_[mi])
                 continue;  // blocked behind an older ordered message
             const Msg msg = cur.msgs[mi];
             const NodeCtx &dst = sys_.nodes[msg.dst];
 
-            SysState next = cur;
+            SysState &next = nextScratch_;
+            next = cur;
             next.removeMsg(mi);
             StateEnv env;
             env.state = &next;
             StepResult r =
                 deliverMsg(dst, *sys_.msgs, next.blocks[msg.dst], msg,
                            env, opts_.markReached);
-            std::string how = "deliver " +
-                              sys_.msgs->displayName(msg.type) + " " +
-                              std::to_string(msg.src) + "->" +
-                              std::to_string(msg.dst);
             if (r == StepResult::Error || env.failed) {
                 fail("protocol-error", env.errorMsg, idx);
                 return successors;
@@ -304,8 +344,15 @@ class Checker
                 continue;
             ++successors;
             ++result_.transitionsFired;
-            if (addState(next, idx, how)) {
-                if (!checkInvariants(next, idx, how))
+            std::string how;
+            if (tracing_) {
+                how = "deliver " + sys_.msgs->displayName(msg.type) +
+                      " " + std::to_string(msg.src) + "->" +
+                      std::to_string(msg.dst);
+            }
+            if (const SysState *stored =
+                    tryAdd(std::move(next), idx, how)) {
+                if (!checkInvariants(*stored, idx, how))
                     return successors;
             }
         }
@@ -326,15 +373,14 @@ class Checker
                             cur.blocks[c].state, ev)) {
                         continue;
                     }
-                    SysState next = cur;
+                    SysState &next = nextScratch_;
+                    next = cur;
                     next.budget[li] -= 1;
                     StateEnv env;
                     env.state = &next;
                     StepResult r = deliverEvent(
                         node, *sys_.msgs, next.blocks[c], ev, nullptr,
                         env, opts_.markReached);
-                    std::string how = "core " + std::to_string(c) +
-                                      ": " + toString(a);
                     if (r == StepResult::Error || env.failed) {
                         fail("protocol-error", env.errorMsg, idx);
                         return successors;
@@ -343,8 +389,14 @@ class Checker
                         continue;
                     ++successors;
                     ++result_.transitionsFired;
-                    if (addState(next, idx, how)) {
-                        if (!checkInvariants(next, idx, how))
+                    std::string how;
+                    if (tracing_) {
+                        how = "core " + std::to_string(c) + ": " +
+                              toString(a);
+                    }
+                    if (const SysState *stored =
+                            tryAdd(std::move(next), idx, how)) {
+                        if (!checkInvariants(*stored, idx, how))
                             return successors;
                     }
                 }
@@ -367,11 +419,436 @@ class Checker
     }
 };
 
+/**
+ * Multi-threaded exploration. Workers pull batches of states from a
+ * shared queue; the visited set is sharded by state hash into
+ * independently locked shards; successors are buffered per batch so
+ * each worker touches the queue lock once per batch, not once per
+ * state. Counterexample traces still work: accepted states are also
+ * appended to a trace arena holding (state, parent, event label).
+ *
+ * Verdict/count parity with the sequential checker: on a clean run
+ * every unique state is expanded exactly once in either mode, so
+ * statesExplored, statesGenerated and transitionsFired are sums over
+ * the same set of expansions and match exactly. On error runs the
+ * verdict is a real violation either way, but which one is found
+ * first (and the partial counts) may differ with exploration order.
+ */
+class ParallelChecker
+{
+  public:
+    ParallelChecker(const System &sys, const CheckOptions &opts,
+                    unsigned threads)
+        : sys_(sys), opts_(opts), numThreads_(threads),
+          tracing_(opts.traceOnError && !opts.hashCompaction)
+    {}
+
+    CheckResult
+    run()
+    {
+        SysState init = initialState(sys_, opts_.accessBudget);
+        {
+            WorkerCtx ws;
+            ++generatedCount_;
+            init.encodeTo(ws.enc);
+            insertVisited(ws.enc);
+            size_t node = SIZE_MAX;
+            if (tracing_) {
+                arena_.push_back({init, SIZE_MAX, "init"});
+                node = 0;
+            }
+            queue_.push_back({std::move(init), node});
+            pending_ = 1;
+        }
+
+        std::vector<std::thread> workers;
+        workers.reserve(numThreads_);
+        for (unsigned t = 0; t < numThreads_; ++t)
+            workers.emplace_back([this] { workerLoop(); });
+        for (auto &w : workers)
+            w.join();
+
+        result_.statesExplored = exploredCount_.load();
+        result_.statesGenerated = generatedCount_.load();
+        result_.transitionsFired = firedCount_.load();
+        if (hasError_) {
+            result_.errorKind = error_.kind;
+            result_.detail = error_.detail;
+            result_.hitStateLimit = error_.isLimit;
+            if (tracing_) {
+                buildTrace(error_.node);
+                if (error_.hasBad) {
+                    result_.trace.push_back(
+                        error_.how + "  =>  " +
+                        describeState(sys_, error_.bad));
+                }
+            }
+        }
+        result_.ok = !hasError_;
+        if (opts_.hashCompaction) {
+            double n = static_cast<double>(result_.statesGenerated);
+            result_.omissionProbability = n * n / 1.8446744e19;
+        }
+        return result_;
+    }
+
+  private:
+    static constexpr size_t kShardCount = 64;  // power of two
+    static constexpr size_t kBatch = 32;
+
+    struct Shard
+    {
+        std::mutex mu;
+        std::unordered_set<std::string> exact;
+        std::unordered_set<uint64_t> hashes;
+    };
+
+    struct TraceNode
+    {
+        SysState state;
+        size_t parent;
+        std::string how;
+    };
+
+    struct Item
+    {
+        SysState state;
+        size_t node;  ///< arena index (SIZE_MAX when not tracing)
+    };
+
+    /** A successor accepted into the visited set, awaiting enqueue. */
+    struct Accepted
+    {
+        SysState state;
+        size_t parent;
+        std::string how;
+    };
+
+    /** Per-worker scratch, allocated once per thread. */
+    struct WorkerCtx
+    {
+        std::string enc;
+        std::vector<char> mask;
+        std::vector<Item> batch;
+        std::vector<Accepted> accepted;
+        // Successor scratch: duplicate successors are discarded
+        // without moving it, so its vector capacity is reused.
+        SysState next;
+    };
+
+    struct ErrorSlot
+    {
+        std::string kind;
+        std::string detail;
+        size_t node = SIZE_MAX;
+        std::string how;
+        SysState bad;
+        bool hasBad = false;
+        bool isLimit = false;
+    };
+
+    const System &sys_;
+    const CheckOptions &opts_;
+    const unsigned numThreads_;
+    const bool tracing_;
+    CheckResult result_;
+
+    Shard shards_[kShardCount];
+
+    std::mutex qMu_;
+    std::condition_variable qCv_;
+    std::deque<Item> queue_;
+    size_t pending_ = 0;  ///< queued + currently-expanding states
+    std::atomic<bool> stop_{false};
+
+    std::mutex arenaMu_;
+    std::vector<TraceNode> arena_;
+
+    std::mutex errMu_;
+    bool hasError_ = false;
+    ErrorSlot error_;
+
+    std::atomic<uint64_t> exploredCount_{0};
+    std::atomic<uint64_t> generatedCount_{0};
+    std::atomic<uint64_t> firedCount_{0};
+
+    /** Insert into the sharded visited set; true if new. */
+    bool
+    insertVisited(const std::string &enc)
+    {
+        if (opts_.hashCompaction) {
+            uint64_t h = hashState(enc, opts_.compactionSeed);
+            Shard &s = shards_[h & (kShardCount - 1)];
+            std::lock_guard<std::mutex> lk(s.mu);
+            return s.hashes.insert(h).second;
+        }
+        uint64_t h = hashState(enc, 0);
+        Shard &s = shards_[h & (kShardCount - 1)];
+        std::lock_guard<std::mutex> lk(s.mu);
+        return s.exact.insert(enc).second;
+    }
+
+    void
+    requestStop()
+    {
+        {
+            std::lock_guard<std::mutex> lk(qMu_);
+            stop_.store(true, std::memory_order_relaxed);
+        }
+        qCv_.notify_all();
+    }
+
+    void
+    reportError(std::string kind, std::string detail, size_t node,
+                std::string how, const SysState *bad, bool is_limit)
+    {
+        {
+            std::lock_guard<std::mutex> lk(errMu_);
+            if (!hasError_) {
+                hasError_ = true;
+                error_.kind = std::move(kind);
+                error_.detail = std::move(detail);
+                error_.node = node;
+                error_.how = std::move(how);
+                error_.isLimit = is_limit;
+                if (bad) {
+                    error_.bad = *bad;
+                    error_.hasBad = true;
+                }
+            }
+        }
+        requestStop();
+    }
+
+    /** Claim one exploration slot; false once maxStates is reached
+     *  (leaving statesExplored == maxStates exactly, as the
+     *  sequential checker reports it). */
+    bool
+    claimExploreSlot()
+    {
+        uint64_t n = exploredCount_.fetch_add(1);
+        if (opts_.maxStates && n >= opts_.maxStates) {
+            exploredCount_.fetch_sub(1);
+            reportError("state-limit",
+                        "exploration capped at " +
+                            std::to_string(opts_.maxStates) + " states",
+                        SIZE_MAX, "", nullptr, true);
+            return false;
+        }
+        return true;
+    }
+
+    void
+    workerLoop()
+    {
+        WorkerCtx ws;
+        for (;;) {
+            ws.batch.clear();
+            {
+                std::unique_lock<std::mutex> lk(qMu_);
+                qCv_.wait(lk, [this] {
+                    return stop_.load(std::memory_order_relaxed) ||
+                           !queue_.empty() || pending_ == 0;
+                });
+                if (stop_.load(std::memory_order_relaxed) ||
+                    (queue_.empty() && pending_ == 0)) {
+                    return;
+                }
+                size_t take = std::min(queue_.size(), kBatch);
+                for (size_t i = 0; i < take; ++i) {
+                    ws.batch.push_back(std::move(queue_.front()));
+                    queue_.pop_front();
+                }
+            }
+
+            ws.accepted.clear();
+            size_t consumed = 0;
+            for (Item &it : ws.batch) {
+                if (stop_.load(std::memory_order_relaxed))
+                    break;
+                if (!claimExploreSlot())
+                    break;
+                expandOne(it, ws);
+                ++consumed;
+            }
+            flush(ws, consumed);
+            if (stop_.load(std::memory_order_relaxed))
+                return;
+        }
+    }
+
+    /** Publish a batch's successors and retire its consumed items
+     *  with a single queue-lock acquisition. */
+    void
+    flush(WorkerCtx &ws, size_t consumed)
+    {
+        // Assign arena slots first so queue items can reference them.
+        size_t base = SIZE_MAX;
+        if (tracing_ && !ws.accepted.empty()) {
+            std::lock_guard<std::mutex> lk(arenaMu_);
+            base = arena_.size();
+            for (Accepted &a : ws.accepted)
+                arena_.push_back({a.state, a.parent, std::move(a.how)});
+        }
+        bool wake_all = false;
+        {
+            std::lock_guard<std::mutex> lk(qMu_);
+            for (size_t i = 0; i < ws.accepted.size(); ++i) {
+                queue_.push_back(
+                    {std::move(ws.accepted[i].state),
+                     tracing_ ? base + i : SIZE_MAX});
+            }
+            pending_ += ws.accepted.size();
+            pending_ -= consumed;
+            wake_all = pending_ == 0 ||
+                       stop_.load(std::memory_order_relaxed) ||
+                       !queue_.empty();
+        }
+        if (wake_all)
+            qCv_.notify_all();
+    }
+
+    void
+    buildTrace(size_t idx)
+    {
+        std::vector<std::string> rev;
+        while (idx != SIZE_MAX && rev.size() < 200) {
+            rev.push_back(arena_[idx].how + "  =>  " +
+                          describeState(sys_, arena_[idx].state));
+            idx = arena_[idx].parent;
+        }
+        result_.trace.assign(rev.rbegin(), rev.rend());
+    }
+
+    /** Dedup, invariant-check and buffer one successor. */
+    bool
+    acceptSuccessor(SysState &&next, const Item &parent,
+                    std::string how, WorkerCtx &ws)
+    {
+        generatedCount_.fetch_add(1, std::memory_order_relaxed);
+        next.encodeTo(ws.enc);
+        if (!insertVisited(ws.enc))
+            return true;
+        if (auto v = findViolation(sys_, next)) {
+            reportError(v->kind, v->detail, parent.node,
+                        std::move(how), &next, false);
+            return false;
+        }
+        ws.accepted.push_back(
+            {std::move(next), parent.node,
+             tracing_ ? std::move(how) : std::string()});
+        return true;
+    }
+
+    void
+    expandOne(const Item &it, WorkerCtx &ws)
+    {
+        const SysState &cur = it.state;
+        size_t successors = 0;
+
+        // 1. Message deliveries.
+        cur.deliverableMask(*sys_.msgs, ws.mask);
+        for (size_t mi = 0; mi < cur.msgs.size(); ++mi) {
+            if (!ws.mask[mi])
+                continue;  // blocked behind an older ordered message
+            const Msg msg = cur.msgs[mi];
+            const NodeCtx &dst = sys_.nodes[msg.dst];
+
+            SysState &next = ws.next;
+            next = cur;
+            next.removeMsg(mi);
+            StateEnv env;
+            env.state = &next;
+            StepResult r =
+                deliverMsg(dst, *sys_.msgs, next.blocks[msg.dst], msg,
+                           env, opts_.markReached);
+            if (r == StepResult::Error || env.failed) {
+                reportError("protocol-error", env.errorMsg, it.node,
+                            "", nullptr, false);
+                return;
+            }
+            if (r == StepResult::Stalled)
+                continue;
+            ++successors;
+            firedCount_.fetch_add(1, std::memory_order_relaxed);
+            std::string how;
+            if (tracing_) {
+                how = "deliver " + sys_.msgs->displayName(msg.type) +
+                      " " + std::to_string(msg.src) + "->" +
+                      std::to_string(msg.dst);
+            }
+            if (!acceptSuccessor(std::move(next), it, std::move(how),
+                                 ws)) {
+                return;
+            }
+        }
+
+        // 2. Core accesses.
+        bool accesses_allowed =
+            !opts_.atomicTransactions || cur.quiescent(sys_);
+        if (accesses_allowed) {
+            for (size_t li = 0; li < sys_.leafCaches.size(); ++li) {
+                if (cur.budget[li] == 0)
+                    continue;
+                NodeId c = sys_.leafCaches[li];
+                const NodeCtx &node = sys_.nodes[c];
+                for (Access a : {Access::Load, Access::Store,
+                                 Access::Evict}) {
+                    EventKey ev = EventKey::mkAccess(a);
+                    if (!node.machine->hasTransition(
+                            cur.blocks[c].state, ev)) {
+                        continue;
+                    }
+                    SysState &next = ws.next;
+                    next = cur;
+                    next.budget[li] -= 1;
+                    StateEnv env;
+                    env.state = &next;
+                    StepResult r = deliverEvent(
+                        node, *sys_.msgs, next.blocks[c], ev, nullptr,
+                        env, opts_.markReached);
+                    if (r == StepResult::Error || env.failed) {
+                        reportError("protocol-error", env.errorMsg,
+                                    it.node, "", nullptr, false);
+                        return;
+                    }
+                    if (r == StepResult::Stalled)
+                        continue;
+                    ++successors;
+                    firedCount_.fetch_add(1, std::memory_order_relaxed);
+                    std::string how;
+                    if (tracing_) {
+                        how = "core " + std::to_string(c) + ": " +
+                              toString(a);
+                    }
+                    if (!acceptSuccessor(std::move(next), it,
+                                         std::move(how), ws)) {
+                        return;
+                    }
+                }
+            }
+        }
+
+        if (successors == 0 && !isTerminalState(sys_, cur)) {
+            reportError("deadlock", "no enabled event", it.node, "",
+                        nullptr, false);
+        }
+    }
+};
+
 } // namespace
 
 CheckResult
 check(const System &sys, const CheckOptions &opts)
 {
+    unsigned threads = opts.numThreads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (threads > 1)
+        return ParallelChecker(sys, opts, threads).run();
     return Checker(sys, opts).run();
 }
 

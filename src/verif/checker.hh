@@ -45,6 +45,15 @@ struct CheckOptions
 
     /** Drive the Section V-E reachability census. */
     bool markReached = true;
+
+    /**
+     * Worker threads for state exploration. 0 = one per hardware
+     * thread; 1 = the original sequential algorithm, bit-for-bit.
+     * Any thread count returns the same verdict and, on clean runs,
+     * the same statesExplored / statesGenerated / transitionsFired
+     * (each unique state is expanded exactly once in either mode).
+     */
+    unsigned numThreads = 0;
 };
 
 struct CheckResult

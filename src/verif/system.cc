@@ -88,21 +88,26 @@ void
 SysState::insertMsg(const Msg &m)
 {
     Msg msg = m;
-    // FIFO position on the (src, dst) channel: one past the newest.
-    int32_t max_seq = -1;
-    for (const Msg &other : msgs) {
-        if (other.src == msg.src && other.dst == msg.dst)
-            max_seq = std::max(max_seq, other.seq);
-    }
-    msg.seq = max_seq + 1;
     auto cmp = [](const Msg &a, const Msg &b) {
         return std::tie(a.type, a.src, a.dst, a.requestor, a.epoch,
                         a.ackCount, a.hasData, a.data) <
                std::tie(b.type, b.src, b.dst, b.requestor, b.epoch,
                         b.ackCount, b.hasData, b.data);
     };
-    msgs.insert(std::upper_bound(msgs.begin(), msgs.end(), msg, cmp),
-                msg);
+    // Single sweep: the FIFO position on the (src, dst) channel (one
+    // past the newest) and the sorted insertion point. cmp ignores
+    // seq, so the position is valid before seq is assigned.
+    int32_t max_seq = -1;
+    size_t pos = msgs.size();
+    for (size_t i = 0; i < msgs.size(); ++i) {
+        const Msg &other = msgs[i];
+        if (other.src == msg.src && other.dst == msg.dst)
+            max_seq = std::max(max_seq, other.seq);
+        if (pos == msgs.size() && cmp(msg, other))
+            pos = i;
+    }
+    msg.seq = max_seq + 1;
+    msgs.insert(msgs.begin() + static_cast<ptrdiff_t>(pos), msg);
 }
 
 bool
@@ -126,6 +131,51 @@ SysState::deliverable(const MsgTypeTable &types, size_t index) const
 }
 
 void
+SysState::deliverableMask(const MsgTypeTable &types,
+                          std::vector<char> &mask) const
+{
+    mask.assign(msgs.size(), 1);
+    // Head seq per ordered (src, dst) channel. The handful of live
+    // channels is tiny, so a flat scratch list beats any hash map.
+    struct Head
+    {
+        NodeId src, dst;
+        int32_t minSeq;
+    };
+    Head heads[16];
+    size_t numHeads = 0;
+    std::vector<Head> spill;  // only if >16 channels are live
+    auto findHead = [&](const Msg &m) -> Head & {
+        for (size_t i = 0; i < numHeads; ++i) {
+            if (heads[i].src == m.src && heads[i].dst == m.dst)
+                return heads[i];
+        }
+        for (Head &h : spill) {
+            if (h.src == m.src && h.dst == m.dst)
+                return h;
+        }
+        if (numHeads < 16) {
+            heads[numHeads] = {m.src, m.dst, m.seq};
+            return heads[numHeads++];
+        }
+        spill.push_back({m.src, m.dst, m.seq});
+        return spill.back();
+    };
+    for (const Msg &m : msgs) {
+        if (!onOrderedVnet(types, m))
+            continue;
+        Head &h = findHead(m);
+        h.minSeq = std::min(h.minSeq, m.seq);
+    }
+    for (size_t i = 0; i < msgs.size(); ++i) {
+        const Msg &m = msgs[i];
+        if (!onOrderedVnet(types, m))
+            continue;
+        mask[i] = findHead(m).minSeq == m.seq ? 1 : 0;
+    }
+}
+
+void
 SysState::removeMsg(size_t index)
 {
     HG_ASSERT(index < msgs.size(), "removeMsg out of range");
@@ -136,7 +186,17 @@ std::string
 SysState::encode() const
 {
     std::string out;
-    out.reserve(blocks.size() * 14 + msgs.size() * 10 + budget.size() +
+    encodeTo(out);
+    return out;
+}
+
+void
+SysState::encodeTo(std::string &out) const
+{
+    out.clear();
+    // 16 bytes per block, 9 per message (plus 1 rank byte), budgets,
+    // ghost — sized so the hot loop never reallocates.
+    out.reserve(blocks.size() * 16 + msgs.size() * 10 + budget.size() +
                 1);
     auto put8 = [&](uint8_t v) { out.push_back(static_cast<char>(v)); };
     auto put16 = [&](uint16_t v) {
@@ -161,7 +221,36 @@ SysState::encode() const
         put32(b.sharers);
         put8(static_cast<uint8_t>(b.owner + 1));
     }
-    for (size_t i = 0; i < msgs.size(); ++i) {
+    // Canonical FIFO rank within each (src, dst) channel: the raw seq
+    // depends on send history and would break deduplication. One sort
+    // by (src, dst, seq) replaces the old per-message O(m) scan; the
+    // scratch vectors are thread-local so parallel workers don't
+    // allocate per call.
+    static thread_local std::vector<uint32_t> order;
+    static thread_local std::vector<uint8_t> ranks;
+    const size_t nm = msgs.size();
+    order.resize(nm);
+    ranks.resize(nm);
+    for (uint32_t i = 0; i < nm; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](uint32_t a, uint32_t b) {
+                  const Msg &x = msgs[a];
+                  const Msg &y = msgs[b];
+                  return std::tie(x.src, x.dst, x.seq) <
+                         std::tie(y.src, y.dst, y.seq);
+              });
+    for (size_t k = 0; k < nm; ++k) {
+        const Msg &m = msgs[order[k]];
+        uint8_t rank = 0;
+        if (k > 0) {
+            const Msg &prev = msgs[order[k - 1]];
+            if (prev.src == m.src && prev.dst == m.dst)
+                rank = static_cast<uint8_t>(ranks[order[k - 1]] + 1);
+        }
+        ranks[order[k]] = rank;
+    }
+    for (size_t i = 0; i < nm; ++i) {
         const Msg &m = msgs[i];
         put16(static_cast<uint16_t>(m.type + 1));
         put8(static_cast<uint8_t>(m.src + 1));
@@ -171,21 +260,11 @@ SysState::encode() const
         put8(static_cast<uint8_t>(m.ackCount + 64));
         put8(m.hasData);
         put8(m.data);
-        // Canonical FIFO rank within the (src, dst) channel: the raw
-        // seq depends on send history and would break deduplication.
-        uint8_t rank = 0;
-        for (size_t j = 0; j < msgs.size(); ++j) {
-            if (msgs[j].src == m.src && msgs[j].dst == m.dst &&
-                msgs[j].seq < m.seq) {
-                ++rank;
-            }
-        }
-        put8(rank);
+        put8(ranks[i]);
     }
     for (uint8_t b : budget)
         put8(b);
     put8(ghost);
-    return out;
 }
 
 bool

@@ -62,8 +62,21 @@ struct SysState
     /** Ordered-vnet FIFO check: may msgs[index] be delivered now? */
     bool deliverable(const MsgTypeTable &types, size_t index) const;
 
+    /**
+     * One-pass variant: mask[i] != 0 iff msgs[i] may be delivered.
+     * Equivalent to calling deliverable() for every index but costs a
+     * single sweep over the message multiset instead of one per
+     * message. @p mask is reused across calls (resized, not shrunk).
+     */
+    void deliverableMask(const MsgTypeTable &types,
+                         std::vector<char> &mask) const;
+
     /** Canonical byte encoding for hashing and deduplication. */
     std::string encode() const;
+
+    /** encode() into a caller-owned buffer (cleared first), so hot
+     *  loops can reuse one allocation per thread. */
+    void encodeTo(std::string &out) const;
 
     /** All controllers stable and no messages in flight. */
     bool quiescent(const System &sys) const;

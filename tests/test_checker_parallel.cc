@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Parallel-vs-sequential checker parity, plus regression tests for
+ * the hot-path rewrites (canonical encoding, one-pass deliverability).
+ *
+ * The contract under test: verif::check with numThreads > 1 returns
+ * the same verdict and — on clean runs — identical statesExplored,
+ * statesGenerated and transitionsFired as the sequential algorithm,
+ * in both exact and hash-compaction modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hiera.hh"
+#include "protocols/registry.hh"
+#include "verif/checker.hh"
+
+namespace hieragen
+{
+namespace
+{
+
+constexpr unsigned kParThreads = 4;
+
+verif::CheckOptions
+atomicOpts(int budget = 2)
+{
+    verif::CheckOptions o;
+    o.atomicTransactions = true;
+    o.accessBudget = budget;
+    return o;
+}
+
+void
+expectParity(const verif::CheckResult &seq,
+             const verif::CheckResult &par, const std::string &what)
+{
+    EXPECT_EQ(seq.ok, par.ok) << what;
+    EXPECT_EQ(seq.errorKind, par.errorKind) << what;
+    EXPECT_EQ(seq.statesExplored, par.statesExplored) << what;
+    if (seq.ok) {
+        EXPECT_EQ(seq.statesGenerated, par.statesGenerated) << what;
+        EXPECT_EQ(seq.transitionsFired, par.transitionsFired) << what;
+    }
+}
+
+class FlatParity : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FlatParity, ExactAndCompactedAgree)
+{
+    Protocol p = protocols::builtinProtocol(GetParam());
+    for (bool compaction : {false, true}) {
+        verif::CheckOptions o = atomicOpts();
+        o.hashCompaction = compaction;
+        o.numThreads = 1;
+        auto seq = verif::checkFlat(p, 3, o);
+        o.numThreads = kParThreads;
+        auto par = verif::checkFlat(p, 3, o);
+        expectParity(seq, par,
+                     GetParam() + (compaction ? " compacted" : " exact"));
+        EXPECT_TRUE(par.ok) << par.summary();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, FlatParity,
+                         ::testing::Values("MI", "MSI", "MESI", "MOSI",
+                                           "MOESI"));
+
+/** Every builtin hierarchical combo, both concurrency modes, exact
+ *  and compacted. accessBudget 1 keeps each space small enough that
+ *  the full sweep stays in the fast tier. */
+class HierParity
+    : public ::testing::TestWithParam<
+          std::tuple<std::pair<const char *, const char *>,
+                     ConcurrencyMode>>
+{
+};
+
+const std::pair<const char *, const char *> kCombos[] = {
+    {"MSI", "MI"},   {"MI", "MSI"},    {"MSI", "MSI"},
+    {"MESI", "MSI"}, {"MESI", "MESI"}, {"MOSI", "MSI"},
+    {"MOSI", "MOSI"}, {"MOESI", "MOESI"},
+};
+
+TEST_P(HierParity, ExactAndCompactedAgree)
+{
+    auto [combo, mode] = GetParam();
+    Protocol l = protocols::builtinProtocol(combo.first);
+    Protocol h = protocols::builtinProtocol(combo.second);
+    core::HierGenOptions gopts;
+    gopts.mode = mode;
+    HierProtocol p = core::generate(l, h, gopts);
+
+    for (bool compaction : {false, true}) {
+        verif::CheckOptions o;
+        o.accessBudget = 1;
+        o.traceOnError = false;
+        o.hashCompaction = compaction;
+        o.numThreads = 1;
+        auto seq = verif::checkHier(p, 2, 2, o);
+        o.numThreads = kParThreads;
+        auto par = verif::checkHier(p, 2, 2, o);
+        expectParity(seq, par,
+                     std::string(combo.first) + "/" + combo.second +
+                         " " + toString(mode) +
+                         (compaction ? " compacted" : " exact"));
+        EXPECT_TRUE(par.ok) << par.summary();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, HierParity,
+    ::testing::Combine(::testing::ValuesIn(kCombos),
+                       ::testing::Values(ConcurrencyMode::Stalling,
+                                         ConcurrencyMode::NonStalling)));
+
+TEST(ParallelMechanics, StateLimitExact)
+{
+    Protocol p = protocols::builtinProtocol("MSI");
+    verif::CheckOptions o = atomicOpts();
+    o.maxStates = 5;
+    o.numThreads = kParThreads;
+    auto r = verif::checkFlat(p, 2, o);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.hitStateLimit);
+    EXPECT_EQ(r.errorKind, "state-limit");
+    EXPECT_EQ(r.statesExplored, 5u);
+}
+
+TEST(ParallelMechanics, BugStillCaughtWithTrace)
+{
+    // Same sabotage as the sequential CheckerDetectsBugs suite: S
+    // ignores Inv. The parallel checker must find a violation and
+    // still produce a counterexample trace.
+    Protocol p = protocols::builtinProtocol("MSI");
+    MsgTypeId inv = p.msgs.find("Inv", Level::Lower);
+    StateId s = p.cache.findState("S");
+    auto *alts = p.cache.transitionsForMutable(s, EventKey::mkMsg(inv));
+    ASSERT_NE(alts, nullptr);
+    alts->front().next = s;
+    auto &ops = alts->front().ops;
+    ops.erase(std::remove_if(ops.begin(), ops.end(),
+                             [](const Op &op) {
+                                 return op.code ==
+                                        OpCode::InvalidateLine;
+                             }),
+              ops.end());
+
+    verif::CheckOptions o = atomicOpts();
+    o.numThreads = kParThreads;
+    auto r = verif::checkFlat(p, 2, o);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.errorKind == "swmr" || r.errorKind == "data-value")
+        << r.summary();
+    EXPECT_FALSE(r.trace.empty());
+}
+
+TEST(ParallelMechanics, DeadlockStillCaught)
+{
+    Protocol p = protocols::builtinProtocol("MI");
+    MsgTypeId getm = p.msgs.find("GetM", Level::Lower);
+    StateId i = p.directory.findState("I");
+    auto *alts =
+        p.directory.transitionsForMutable(i, EventKey::mkMsg(getm));
+    ASSERT_NE(alts, nullptr);
+    alts->front().ops.clear();
+
+    verif::CheckOptions o = atomicOpts();
+    o.numThreads = kParThreads;
+    auto r = verif::checkFlat(p, 2, o);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.errorKind, "deadlock") << r.summary();
+}
+
+TEST(ParallelMechanics, CensusMatchesSequential)
+{
+    // The reachability census (markReached) must see the same set of
+    // fired transitions whether exploration is threaded or not.
+    Protocol seqP = protocols::builtinProtocol("MSI");
+    Protocol parP = protocols::builtinProtocol("MSI");
+
+    verif::System seqSys = verif::buildFlatSystem(seqP, 2);
+    verif::CheckOptions o = atomicOpts();
+    o.numThreads = 1;
+    auto rs = verif::pruneUnreachable(seqSys, o,
+                                      {&seqP.cache, &seqP.directory});
+
+    verif::System parSys = verif::buildFlatSystem(parP, 2);
+    o.numThreads = kParThreads;
+    auto rp = verif::pruneUnreachable(parSys, o,
+                                      {&parP.cache, &parP.directory});
+
+    ASSERT_TRUE(rs.ok);
+    ASSERT_TRUE(rp.ok);
+    EXPECT_EQ(seqP.cache.numReachedTransitions(),
+              parP.cache.numReachedTransitions());
+    EXPECT_EQ(seqP.directory.numReachedTransitions(),
+              parP.directory.numReachedTransitions());
+    EXPECT_EQ(seqP.cache.numReachedStates(),
+              parP.cache.numReachedStates());
+}
+
+// ---------------------------------------------------------------
+// Hot-path regression tests.
+
+struct MsgFixture
+{
+    Protocol p = protocols::builtinProtocol("MSI");
+    MsgTypeId gets, inv, putack;
+
+    MsgFixture()
+    {
+        gets = p.msgs.find("GetS", Level::Lower);
+        inv = p.msgs.find("Inv", Level::Lower);
+        putack = p.msgs.find("PutAck", Level::Lower);
+    }
+
+    Msg
+    mk(MsgTypeId t, NodeId src, NodeId dst)
+    {
+        Msg m;
+        m.type = t;
+        m.src = src;
+        m.dst = dst;
+        return m;
+    }
+};
+
+TEST(EncodeCanonical, IndependentOfSendHistoryOnOrderedChannels)
+{
+    // Channel [Inv, PutAck] reached via different send histories must
+    // encode identically: raw seq values differ (1,2 vs 0,1 here) but
+    // the canonical FIFO ranks are what the encoding stores.
+    MsgFixture f;
+    verif::SysState a;
+    a.blocks.resize(3);
+    verif::SysState b = a;
+
+    a.insertMsg(f.mk(f.gets, 0, 1));   // seq 0 on (0,1)
+    a.insertMsg(f.mk(f.inv, 0, 1));    // seq 1
+    a.insertMsg(f.mk(f.putack, 0, 1)); // seq 2
+    // Deliver the GetS: channel keeps Inv(seq 1), PutAck(seq 2).
+    for (size_t i = 0; i < a.msgs.size(); ++i) {
+        if (a.msgs[i].type == f.gets) {
+            a.removeMsg(i);
+            break;
+        }
+    }
+
+    b.insertMsg(f.mk(f.inv, 0, 1));    // seq 0
+    b.insertMsg(f.mk(f.putack, 0, 1)); // seq 1
+
+    EXPECT_EQ(a.encode(), b.encode())
+        << "canonical ranks must erase send history";
+}
+
+TEST(EncodeCanonical, OrderedInsertionOrderStillDistinguished)
+{
+    // Opposite FIFO order on an ordered channel is a different state;
+    // the single-pass rank computation must preserve that.
+    MsgFixture f;
+    verif::SysState a;
+    a.blocks.resize(3);
+    verif::SysState b = a;
+    a.insertMsg(f.mk(f.inv, 0, 1));
+    a.insertMsg(f.mk(f.putack, 0, 1));
+    b.insertMsg(f.mk(f.putack, 0, 1));
+    b.insertMsg(f.mk(f.inv, 0, 1));
+    EXPECT_NE(a.encode(), b.encode());
+}
+
+TEST(EncodeCanonical, UnorderedInsertionOrderIrrelevant)
+{
+    MsgFixture f;
+    verif::SysState a;
+    a.blocks.resize(3);
+    verif::SysState b = a;
+    Msg m1 = f.mk(f.gets, 1, 0);
+    Msg m2 = f.mk(f.gets, 2, 0);
+    a.insertMsg(m1);
+    a.insertMsg(m2);
+    b.insertMsg(m2);
+    b.insertMsg(m1);
+    EXPECT_EQ(a.encode(), b.encode());
+}
+
+TEST(EncodeCanonical, EncodeToMatchesEncodeAndReusesBuffer)
+{
+    MsgFixture f;
+    verif::SysState st;
+    st.blocks.resize(3);
+    st.budget.assign(2, 2);
+    st.insertMsg(f.mk(f.inv, 0, 1));
+    st.insertMsg(f.mk(f.gets, 1, 0));
+    std::string buf = "stale contents";
+    st.encodeTo(buf);
+    EXPECT_EQ(buf, st.encode());
+    st.encodeTo(buf);  // second fill into the same buffer
+    EXPECT_EQ(buf, st.encode());
+}
+
+TEST(DeliverableMask, MatchesPerIndexDeliverable)
+{
+    MsgFixture f;
+    verif::SysState st;
+    st.blocks.resize(4);
+    st.insertMsg(f.mk(f.inv, 0, 1));
+    st.insertMsg(f.mk(f.putack, 0, 1));  // blocked behind the Inv
+    st.insertMsg(f.mk(f.inv, 0, 2));     // other channel: free
+    st.insertMsg(f.mk(f.gets, 1, 0));    // unordered: free
+    st.insertMsg(f.mk(f.gets, 2, 0));
+
+    std::vector<char> mask;
+    st.deliverableMask(f.p.msgs, mask);
+    ASSERT_EQ(mask.size(), st.msgs.size());
+    for (size_t i = 0; i < st.msgs.size(); ++i) {
+        EXPECT_EQ(static_cast<bool>(mask[i]),
+                  st.deliverable(f.p.msgs, i))
+            << "index " << i;
+    }
+}
+
+} // namespace
+} // namespace hieragen
