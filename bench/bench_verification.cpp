@@ -8,15 +8,21 @@
  * Also the perf harness for the checker itself: each configuration is
  * timed and reported in states/sec, the thread count is selectable
  * with --threads N, and a machine-readable BENCH_verification.json is
- * written so the perf trajectory can be tracked across PRs. The
- * MSI/MSI non-stalling 2H+2L check is additionally run single- and
- * multi-threaded to record the parallel speedup.
+ * written so the perf trajectory can be tracked across PRs. Every
+ * configuration is run with symmetry reduction on AND off, so the
+ * JSON records the state-space shrink (symmetry_reduction_factor) and
+ * the wall-time effect explicitly; --no-symmetry forces every run
+ * unreduced (the pre-reduction behaviour), and --micro runs the
+ * delivery/canonicalization microbenchmarks instead of the sweep.
+ * The MSI/MSI non-stalling 2H+2L check is additionally run single-
+ * and multi-threaded to record the parallel speedup.
  */
 
 #include <chrono>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <thread>
 
 #include "bench_common.hh"
@@ -33,10 +39,16 @@ struct Measurement
     std::string config;
     unsigned threads = 1;
     bool ok = false;
-    uint64_t states = 0;
+    uint64_t states = 0;  ///< canonical states when symmetry is on
     double ms = 0.0;
     double statesPerSec = 0.0;
     double omission = 0.0;
+    bool symmetry = true;
+    // The paired unreduced run of the same configuration (absent in
+    // --no-symmetry mode, where the primary run is already unreduced).
+    uint64_t statesUnreduced = 0;
+    double msUnreduced = 0.0;
+    double reductionFactor = 1.0;
 };
 
 double
@@ -69,7 +81,21 @@ runConfig(const HierProtocol &p, const std::string &proto,
         m.ms > 0 ? static_cast<double>(r.statesExplored) * 1e3 / m.ms
                  : 0.0;
     m.omission = r.omissionProbability;
+    m.symmetry = r.symmetryReduction;
     return m;
+}
+
+/** Attach the unreduced twin run to a symmetry-on measurement. */
+void
+attachUnreduced(Measurement &m, const Measurement &off)
+{
+    m.statesUnreduced = off.states;
+    m.msUnreduced = off.ms;
+    m.reductionFactor =
+        m.states > 0 ? static_cast<double>(off.states) /
+                           static_cast<double>(m.states)
+                     : 1.0;
+    m.ok = m.ok && off.ok;
 }
 
 void
@@ -90,15 +116,111 @@ writeJson(const std::vector<Measurement> &rows, unsigned threads,
             << "\", \"variant\": \"" << m.variant
             << "\", \"config\": \"" << m.config
             << "\", \"threads\": " << m.threads << ", \"ok\": "
-            << (m.ok ? "true" : "false") << ", \"states\": " << m.states
-            << ", \"ms\": " << std::fixed << std::setprecision(2)
-            << m.ms << ", \"states_per_sec\": " << std::setprecision(0)
-            << m.statesPerSec << ", \"omission\": "
-            << std::scientific << std::setprecision(3) << m.omission
-            << "}";
+            << (m.ok ? "true" : "false")
+            << ", \"symmetry\": " << (m.symmetry ? "true" : "false")
+            << ", \"states\": " << m.states << ", \"ms\": "
+            << std::fixed << std::setprecision(2) << m.ms
+            << ", \"states_per_sec\": " << std::setprecision(0)
+            << m.statesPerSec;
+        if (m.statesUnreduced > 0) {
+            out << ", \"states_unreduced\": " << m.statesUnreduced
+                << ", \"ms_unreduced\": " << std::setprecision(2)
+                << m.msUnreduced << ", \"symmetry_reduction_factor\": "
+                << std::setprecision(3) << m.reductionFactor;
+        }
+        out << ", \"omission\": " << std::scientific
+            << std::setprecision(3) << m.omission << "}";
         out << (i + 1 < rows.size() ? ",\n" : "\n");
     }
     out << "  ]\n}\n";
+}
+
+// ---------------------------------------------------------------
+// --micro: hot-path microbenchmarks for the state substrate.
+
+double
+nsPerOp(uint64_t iters, std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - t0)
+               .count() /
+           static_cast<double>(iters);
+}
+
+int
+runMicro()
+{
+    std::cout << "checker micro-benchmarks\n\n";
+
+    // A hierarchical MSI/MSI system mid-flight: several messages in
+    // the multiset, sharer masks set — representative of the states
+    // the delivery loop copies millions of times.
+    Protocol l = protocols::builtinProtocol("MSI");
+    Protocol h = protocols::builtinProtocol("MSI");
+    core::HierGenOptions gopts;
+    gopts.mode = ConcurrencyMode::NonStalling;
+    HierProtocol p = core::generate(l, h, gopts);
+    verif::System sys = verif::buildHierSystem(p, 2, 2);
+
+    verif::SysState st = verif::initialState(sys, 2);
+    MsgTypeId getsL = p.msgs.find("GetS", Level::Lower);
+    MsgTypeId getsH = p.msgs.find("GetS", Level::Higher);
+    for (int i = 0; i < 4; ++i) {
+        Msg m;
+        m.type = i % 2 ? getsL : getsH;
+        m.src = static_cast<NodeId>(1 + i);
+        m.dst = i % 2 ? 3 : 0;
+        st.insertMsg(m);
+    }
+    st.blocks[0].sharers = 0b0110;
+
+    constexpr uint64_t kIters = 2'000'000;
+    verif::SysState scratch;
+
+    // Old delivery path: full copy, then erase from the middle.
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        for (uint64_t i = 0; i < kIters; ++i) {
+            scratch = st;
+            scratch.removeMsg(i % st.msgs.size());
+        }
+        std::cout << "  copy + removeMsg(mid):   " << std::fixed
+                  << std::setprecision(1) << nsPerOp(kIters, t0)
+                  << " ns/op\n";
+    }
+    // New delivery path: single-pass copy-minus-one.
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        for (uint64_t i = 0; i < kIters; ++i)
+            scratch.assignWithoutMsg(st, i % st.msgs.size());
+        std::cout << "  assignWithoutMsg:        " << std::fixed
+                  << std::setprecision(1) << nsPerOp(kIters, t0)
+                  << " ns/op\n";
+    }
+
+    // Encoding vs canonical encoding (the symmetry-reduction tax per
+    // generated state: |H|!*|L|! = 4 candidate images here).
+    std::string enc;
+    constexpr uint64_t kEncIters = 500'000;
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        for (uint64_t i = 0; i < kEncIters; ++i)
+            st.encodeTo(enc);
+        std::cout << "  encodeTo:                " << std::fixed
+                  << std::setprecision(1) << nsPerOp(kEncIters, t0)
+                  << " ns/op\n";
+    }
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        for (uint64_t i = 0; i < kEncIters; ++i) {
+            scratch = st;
+            scratch.encodeCanonicalTo(sys, enc);
+        }
+        std::cout << "  copy + encodeCanonical:  " << std::fixed
+                  << std::setprecision(1) << nsPerOp(kEncIters, t0)
+                  << " ns/op  (2H+2L: 4 orbit images)\n";
+    }
+    return 0;
 }
 
 } // namespace
@@ -109,16 +231,22 @@ main(int argc, char **argv)
     // Full sweep is slow; default to the stalling variants plus the
     // MSI/MSI non-stalling flagship unless --full is given.
     bool full = false;
+    bool symmetry = true;
     unsigned threads = 0;  // 0 = hardware concurrency
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--full") {
             full = true;
+        } else if (arg == "--no-symmetry") {
+            symmetry = false;
+        } else if (arg == "--micro") {
+            return runMicro();
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = static_cast<unsigned>(std::stoul(argv[++i]));
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [--full] [--threads N]\n";
+                      << " [--full] [--threads N] [--no-symmetry]"
+                         " [--micro]\n";
             return 2;
         }
     }
@@ -130,10 +258,11 @@ main(int argc, char **argv)
 
     std::cout << "Section VIII-C: verification of generated protocols ("
               << threads << " thread" << (threads == 1 ? "" : "s")
-              << ")\n\n";
+              << ", symmetry reduction "
+              << (symmetry ? "on vs off" : "off") << ")\n\n";
     std::cout << std::left << std::setw(14) << "protocol"
-              << std::setw(14) << "variant" << std::setw(34)
-              << "config A (2H+2L exact)" << std::setw(38)
+              << std::setw(14) << "variant" << std::setw(40)
+              << "config A (2H+2L exact)" << std::setw(40)
               << "config B (2H+3L compacted)" << "\n";
 
     std::vector<Measurement> rows;
@@ -153,8 +282,16 @@ main(int argc, char **argv)
             verif::CheckOptions a;
             a.accessBudget = 2;
             a.traceOnError = false;
+            a.symmetryReduction = symmetry;
             Measurement ma = runConfig(p, proto, toString(mode),
                                        "2H+2L exact", 2, 2, a, threads);
+            if (symmetry) {
+                verif::CheckOptions aOff = a;
+                aOff.symmetryReduction = false;
+                attachUnreduced(
+                    ma, runConfig(p, proto, toString(mode),
+                                  "2H+2L exact", 2, 2, aOff, threads));
+            }
             rows.push_back(ma);
             all_ok = all_ok && ma.ok;
 
@@ -165,46 +302,68 @@ main(int argc, char **argv)
             b.accessBudget = 1;
             b.hashCompaction = true;
             b.traceOnError = false;
+            b.symmetryReduction = symmetry;
+            auto seedSweep = [&](const verif::CheckOptions &base,
+                                 double &omission_out) {
+                verif::CheckOptions o = base;
+                double omission = 1.0;
+                Measurement acc;
+                bool ok = true;
+                for (uint64_t seed : {0xAB12ull, 0xCD34ull}) {
+                    o.compactionSeed = seed;
+                    Measurement run =
+                        runConfig(p, proto, toString(mode),
+                                  "2H+3L compacted", 2, 3, o, threads);
+                    ok = ok && run.ok;
+                    omission *= run.omission;
+                    run.ms += acc.ms;  // accumulate the seed passes
+                    acc = run;
+                }
+                acc.ok = ok;
+                omission_out = omission;
+                return acc;
+            };
             double omission = 1.0;
-            Measurement mb;
-            bool ok_b = true;
-            for (uint64_t seed : {0xAB12ull, 0xCD34ull}) {
-                b.compactionSeed = seed;
-                Measurement run =
-                    runConfig(p, proto, toString(mode),
-                              "2H+3L compacted", 2, 3, b, threads);
-                ok_b = ok_b && run.ok;
-                omission *= run.omission;
-                run.ms += mb.ms;  // accumulate the two seed passes
-                mb = run;
-            }
-            mb.ok = ok_b;
+            Measurement mb = seedSweep(b, omission);
             mb.omission = omission;
+            if (symmetry) {
+                verif::CheckOptions bOff = b;
+                bOff.symmetryReduction = false;
+                double omissionOff = 1.0;
+                attachUnreduced(mb, seedSweep(bOff, omissionOff));
+            }
             mb.statesPerSec = mb.ms > 0
                                   ? static_cast<double>(mb.states) *
                                         2e3 / mb.ms
                                   : 0.0;
             rows.push_back(mb);
-            all_ok = all_ok && ok_b;
+            all_ok = all_ok && mb.ok;
 
             std::ostringstream cell_a;
             cell_a << (ma.ok ? "PASS " : "FAIL ") << ma.states
                    << " st, " << std::fixed << std::setprecision(0)
                    << ma.statesPerSec << "/s";
+            if (symmetry)
+                cell_a << ", x" << std::setprecision(2)
+                       << ma.reductionFactor;
             std::ostringstream cell_b;
-            cell_b << (ok_b ? "PASS " : "FAIL ") << mb.states
+            cell_b << (mb.ok ? "PASS " : "FAIL ") << mb.states
                    << " st, " << std::fixed << std::setprecision(0)
                    << mb.statesPerSec << "/s, p<" << std::scientific
                    << std::setprecision(1) << omission;
+            if (symmetry)
+                cell_b << ", x" << std::fixed << std::setprecision(2)
+                       << mb.reductionFactor;
             std::cout << std::left << std::setw(14) << proto
                       << std::setw(14) << toString(mode)
-                      << std::setw(34) << cell_a.str() << std::setw(38)
+                      << std::setw(40) << cell_a.str() << std::setw(40)
                       << cell_b.str() << "\n";
         }
     }
 
     // Parallel speedup on the flagship check: MSI/MSI non-stalling,
-    // 2H+2L exact, 1 thread vs the configured thread count.
+    // 2H+2L exact, 1 thread vs the configured thread count (both with
+    // the session's symmetry setting).
     Protocol l = protocols::builtinProtocol("MSI");
     Protocol h = protocols::builtinProtocol("MSI");
     core::HierGenOptions gopts;
@@ -213,6 +372,7 @@ main(int argc, char **argv)
     verif::CheckOptions fo;
     fo.accessBudget = 2;
     fo.traceOnError = false;
+    fo.symmetryReduction = symmetry;
     Measurement seq = runConfig(flagship, "MSI/MSI", "NonStalling",
                                 "2H+2L exact seq", 2, 2, fo, 1);
     Measurement par = runConfig(flagship, "MSI/MSI", "NonStalling",

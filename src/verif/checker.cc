@@ -20,15 +20,19 @@ std::string
 CheckResult::summary() const
 {
     std::ostringstream os;
+    const char *states_word =
+        symmetryReduction ? " canonical states" : " states";
     if (ok) {
-        os << "PASS " << statesExplored << " states, "
+        os << "PASS " << statesExplored << states_word << ", "
            << transitionsFired << " transitions";
         if (omissionProbability > 0)
             os << ", omission<" << omissionProbability;
     } else {
         os << "FAIL[" << errorKind << "] " << detail << " ("
-           << statesExplored << " states)";
+           << statesExplored << states_word << ")";
     }
+    os << " [sym " << (symmetryReduction ? "on" : "off")
+       << ", compaction " << (hashCompaction ? "on" : "off") << "]";
     return os.str();
 }
 
@@ -174,7 +178,8 @@ class Checker
   public:
     Checker(const System &sys, const CheckOptions &opts)
         : sys_(sys), opts_(opts),
-          tracing_(opts.traceOnError && !opts.hashCompaction)
+          tracing_(opts.traceOnError && !opts.hashCompaction),
+          symmetry_(opts.symmetryReduction && !sys.symClasses.empty())
     {}
 
     CheckResult
@@ -223,6 +228,7 @@ class Checker
     const System &sys_;
     const CheckOptions &opts_;
     const bool tracing_;
+    const bool symmetry_;  ///< canonicalize states before dedup
     CheckResult result_;
 
     // Tracing mode keeps every state (trace reconstruction walks
@@ -266,12 +272,18 @@ class Checker
     }
 
     /** Dedup @p st; stores it and returns a pointer to the stored
-     *  copy if new, nullptr if seen before. */
+     *  copy if new, nullptr if seen before. With symmetry reduction
+     *  the state is first replaced by its orbit representative, so
+     *  dedup, storage, traces and expansion all see the canonical
+     *  form. */
     const SysState *
     tryAdd(SysState &&st, size_t parent, const std::string &how)
     {
         ++result_.statesGenerated;
-        st.encodeTo(encScratch_);
+        if (symmetry_)
+            st.encodeCanonicalTo(sys_, encScratch_);
+        else
+            st.encodeTo(encScratch_);
         if (opts_.hashCompaction) {
             uint64_t h = hashState(encScratch_, opts_.compactionSeed);
             if (!visitedHashes_.insert(h).second)
@@ -329,8 +341,7 @@ class Checker
             const NodeCtx &dst = sys_.nodes[msg.dst];
 
             SysState &next = nextScratch_;
-            next = cur;
-            next.removeMsg(mi);
+            next.assignWithoutMsg(cur, mi);
             StateEnv env;
             env.state = &next;
             StepResult r =
@@ -409,6 +420,8 @@ class Checker
     finish(bool ok)
     {
         result_.ok = ok && result_.errorKind.empty();
+        result_.symmetryReduction = symmetry_;
+        result_.hashCompaction = opts_.hashCompaction;
         if (opts_.hashCompaction) {
             // Stern–Dill style bound: expected omitted states is about
             // n^2 / 2^b for n states hashed into b-bit signatures.
@@ -440,7 +453,8 @@ class ParallelChecker
     ParallelChecker(const System &sys, const CheckOptions &opts,
                     unsigned threads)
         : sys_(sys), opts_(opts), numThreads_(threads),
-          tracing_(opts.traceOnError && !opts.hashCompaction)
+          tracing_(opts.traceOnError && !opts.hashCompaction),
+          symmetry_(opts.symmetryReduction && !sys.symClasses.empty())
     {}
 
     CheckResult
@@ -450,7 +464,10 @@ class ParallelChecker
         {
             WorkerCtx ws;
             ++generatedCount_;
-            init.encodeTo(ws.enc);
+            if (symmetry_)
+                init.encodeCanonicalTo(sys_, ws.enc);
+            else
+                init.encodeTo(ws.enc);
             insertVisited(ws.enc);
             size_t node = SIZE_MAX;
             if (tracing_) {
@@ -485,6 +502,8 @@ class ParallelChecker
             }
         }
         result_.ok = !hasError_;
+        result_.symmetryReduction = symmetry_;
+        result_.hashCompaction = opts_.hashCompaction;
         if (opts_.hashCompaction) {
             double n = static_cast<double>(result_.statesGenerated);
             result_.omissionProbability = n * n / 1.8446744e19;
@@ -551,6 +570,7 @@ class ParallelChecker
     const CheckOptions &opts_;
     const unsigned numThreads_;
     const bool tracing_;
+    const bool symmetry_;  ///< canonicalize states before dedup
     CheckResult result_;
 
     Shard shards_[kShardCount];
@@ -720,13 +740,19 @@ class ParallelChecker
         result_.trace.assign(rev.rbegin(), rev.rend());
     }
 
-    /** Dedup, invariant-check and buffer one successor. */
+    /** Dedup, invariant-check and buffer one successor. Symmetry
+     *  reduction replaces the successor with its orbit representative
+     *  before the visited-set probe, so every worker agrees on the
+     *  stored form regardless of which orbit member it generated. */
     bool
     acceptSuccessor(SysState &&next, const Item &parent,
                     std::string how, WorkerCtx &ws)
     {
         generatedCount_.fetch_add(1, std::memory_order_relaxed);
-        next.encodeTo(ws.enc);
+        if (symmetry_)
+            next.encodeCanonicalTo(sys_, ws.enc);
+        else
+            next.encodeTo(ws.enc);
         if (!insertVisited(ws.enc))
             return true;
         if (auto v = findViolation(sys_, next)) {
@@ -755,8 +781,7 @@ class ParallelChecker
             const NodeCtx &dst = sys_.nodes[msg.dst];
 
             SysState &next = ws.next;
-            next = cur;
-            next.removeMsg(mi);
+            next.assignWithoutMsg(cur, mi);
             StateEnv env;
             env.state = &next;
             StepResult r =

@@ -40,6 +40,17 @@ struct CheckOptions
     bool hashCompaction = false;
     uint64_t compactionSeed = 0x9e3779b97f4a7c15ull;
 
+    /**
+     * Scalarset symmetry reduction: canonicalize every state over the
+     * permutations of System::symClasses before dedup, so the checker
+     * stores and expands one representative per orbit (up to
+     * |H|!·|L|! fewer states). Verdicts, traces and the Section V-E
+     * census are unaffected — symmetric nodes share one Machine, so
+     * every checked property is permutation-invariant. Off switch
+     * exists for parity testing and for measuring the reduction.
+     */
+    bool symmetryReduction = true;
+
     /** Record parent links so violations come with a trace. */
     bool traceOnError = true;
 
@@ -63,11 +74,29 @@ struct CheckResult
      *  "state-limit" */
     std::string errorKind;
     std::string detail;
+
+    /**
+     * Unique states expanded. With symmetry reduction active these
+     * are *canonical* states — one representative per orbit of the
+     * system's node-symmetry group — so the count can be up to
+     * |H|!·|L|! (resp. |caches|! for flat systems) smaller than an
+     * unreduced run of the same configuration. statesGenerated counts
+     * successor states produced before dedup (also canonical under
+     * reduction); transitionsFired counts interpreter steps taken
+     * while expanding representatives.
+     */
     uint64_t statesExplored = 0;
     uint64_t statesGenerated = 0;
     uint64_t transitionsFired = 0;
     bool hitStateLimit = false;
     double omissionProbability = 0.0;
+
+    /** Whether symmetry reduction actually ran (option on AND the
+     *  system has at least one nontrivial symmetry class). */
+    bool symmetryReduction = false;
+    /** Whether states were stored as 64-bit signatures. */
+    bool hashCompaction = false;
+
     std::vector<std::string> trace;
 
     std::string summary() const;

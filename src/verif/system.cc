@@ -1,6 +1,7 @@
 #include "verif/system.hh"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "fsm/printer.hh"
@@ -8,6 +9,31 @@
 
 namespace hieragen::verif
 {
+
+namespace
+{
+
+/** Fill in leafIndex and register one symmetry class per group of
+ *  >= 2 interchangeable nodes (all members share one Machine and one
+ *  parent by construction of the builders). */
+void
+finalizeSymmetry(System &sys,
+                 std::initializer_list<std::pair<NodeId, NodeId>> groups)
+{
+    sys.leafIndex.assign(sys.nodes.size(), -1);
+    for (size_t li = 0; li < sys.leafCaches.size(); ++li)
+        sys.leafIndex[sys.leafCaches[li]] = static_cast<int32_t>(li);
+    for (auto [first, last] : groups) {
+        if (last - first + 1 < 2)
+            continue;
+        std::vector<NodeId> cls;
+        for (NodeId n = first; n <= last; ++n)
+            cls.push_back(n);
+        sys.symClasses.push_back(std::move(cls));
+    }
+}
+
+} // namespace
 
 System
 buildFlatSystem(const Protocol &p, int num_caches)
@@ -33,6 +59,8 @@ buildFlatSystem(const Protocol &p, int num_caches)
         sys.nodes.push_back(c);
         sys.leafCaches.push_back(c.id);
     }
+    finalizeSymmetry(
+        sys, {{1, static_cast<NodeId>(num_caches)}});
     return sys;
 }
 
@@ -81,6 +109,11 @@ buildHierSystem(const HierProtocol &p, int num_cache_h, int num_cache_l)
         sys.nodes.push_back(c);
         sys.leafCaches.push_back(c.id);
     }
+    finalizeSymmetry(
+        sys,
+        {{1, static_cast<NodeId>(num_cache_h)},
+         {static_cast<NodeId>(2 + num_cache_h),
+          static_cast<NodeId>(1 + num_cache_h + num_cache_l)}});
     return sys;
 }
 
@@ -179,7 +212,30 @@ void
 SysState::removeMsg(size_t index)
 {
     HG_ASSERT(index < msgs.size(), "removeMsg out of range");
+    // Msg is trivially copyable, so the tail shift compiles down to
+    // one memmove; the sorted-multiset invariant (cmp order, ties in
+    // seq order) is untouched by erasing an element.
     msgs.erase(msgs.begin() + static_cast<ptrdiff_t>(index));
+}
+
+void
+SysState::assignWithoutMsg(const SysState &src, size_t index)
+{
+    HG_ASSERT(index < src.msgs.size(), "assignWithoutMsg out of range");
+    blocks = src.blocks;
+    ghost = src.ghost;
+    budget = src.budget;
+    // One pass over the survivors instead of copy-then-middle-erase:
+    // two block copies around the gap (memmove for trivially copyable
+    // Msg), never materializing the dropped message. resize + copy
+    // rather than clear + insert: both copies inline to memmove with
+    // no per-call capacity checks, and in the checker's delivery loop
+    // the destination usually already has the right size, making
+    // resize() free.
+    const auto *s = src.msgs.data();
+    msgs.resize(src.msgs.size() - 1);
+    std::copy_n(s, index, msgs.data());
+    std::copy(s + index + 1, s + src.msgs.size(), msgs.data() + index);
 }
 
 std::string
@@ -265,6 +321,215 @@ SysState::encodeTo(std::string &out) const
     for (uint8_t b : budget)
         put8(b);
     put8(ghost);
+}
+
+namespace
+{
+
+/** Orbit products up to this size are enumerated exactly; larger
+ *  symmetry classes fall back to the sorted-orbit heuristic. Covers
+ *  the common configurations by a wide margin (2H+2L = 4 candidate
+ *  permutations, 2H+3L = 12, a flat 4-cache system = 24). */
+constexpr uint64_t kMaxEnumPerms = 1024;
+
+/**
+ * Apply a node renaming to a whole state: permute the block and
+ * budget slots, rename every NodeId stored inside blocks (owner, TBE
+ * requestors, the sharers bitmask) and messages (src/dst/requestor),
+ * and re-establish the sorted-multiset message order. Per-channel
+ * FIFO seq values are carried over verbatim: a permutation maps each
+ * (src, dst) channel onto another channel wholesale, so the relative
+ * seq order within every channel — the only thing the encoding's
+ * canonical ranks depend on — is preserved.
+ */
+void
+applyPerm(const System &sys, const std::vector<NodeId> &perm,
+          const SysState &src, SysState &dst)
+{
+    const size_t n = src.blocks.size();
+    auto mapId = [&](NodeId id) {
+        return id == kNoNode ? kNoNode : perm[static_cast<size_t>(id)];
+    };
+
+    dst.ghost = src.ghost;
+    dst.blocks.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        BlockState b = src.blocks[i];
+        b.owner = mapId(b.owner);
+        b.tbe.savedRequestor = mapId(b.tbe.savedRequestor);
+        b.tbe.savedLower = mapId(b.tbe.savedLower);
+        uint32_t sh = 0;
+        for (uint32_t bits = b.sharers; bits != 0; bits &= bits - 1) {
+            sh |= 1u << static_cast<uint32_t>(
+                      perm[static_cast<size_t>(std::countr_zero(bits))]);
+        }
+        b.sharers = sh;
+        dst.blocks[static_cast<size_t>(perm[i])] = b;
+    }
+
+    dst.budget.resize(src.budget.size());
+    for (size_t li = 0; li < sys.leafCaches.size(); ++li) {
+        NodeId renamed = perm[static_cast<size_t>(sys.leafCaches[li])];
+        dst.budget[static_cast<size_t>(sys.leafIndex[renamed])] =
+            src.budget[li];
+    }
+
+    dst.msgs = src.msgs;
+    for (Msg &m : dst.msgs) {
+        m.src = mapId(m.src);
+        m.dst = mapId(m.dst);
+        m.requestor = mapId(m.requestor);
+    }
+    // insertMsg's invariant: sorted by the seq-blind key, with equal
+    // keys (necessarily same channel) in seq order.
+    std::sort(dst.msgs.begin(), dst.msgs.end(),
+              [](const Msg &a, const Msg &b) {
+                  return std::tie(a.type, a.src, a.dst, a.requestor,
+                                  a.epoch, a.ackCount, a.hasData, a.data,
+                                  a.seq) <
+                         std::tie(b.type, b.src, b.dst, b.requestor,
+                                  b.epoch, b.ackCount, b.hasData, b.data,
+                                  b.seq);
+              });
+}
+
+/** Scratch for canonicalize(), one set per thread so the parallel
+ *  checker's workers never contend or allocate in steady state. */
+struct CanonScratch
+{
+    std::vector<NodeId> perm;
+    std::vector<std::vector<NodeId>> arrangement;
+    SysState cand;
+    SysState best;
+    std::string candEnc;
+    std::string bestEnc;
+};
+
+/**
+ * Sorted-orbit fallback for symmetry classes too large to enumerate:
+ * order the members of each class by a local signature (own block
+ * state + remaining budget) and rename them into the class's slots in
+ * that order, ties keeping their relative id order. Cross-node
+ * references can still distinguish signature-tied members, so this is
+ * not a full canonical form — but it is deterministic and always a
+ * permutation image, which keeps the reduction sound.
+ */
+void
+sortedOrbitPerm(const System &sys, const SysState &st,
+                std::vector<NodeId> &perm)
+{
+    for (size_t i = 0; i < perm.size(); ++i)
+        perm[i] = static_cast<NodeId>(i);
+    for (const auto &cls : sys.symClasses) {
+        auto sig = [&](NodeId n) {
+            const BlockState &b = st.blocks[static_cast<size_t>(n)];
+            int32_t li = sys.leafIndex[static_cast<size_t>(n)];
+            uint8_t bud =
+                li >= 0 ? st.budget[static_cast<size_t>(li)] : 0;
+            return std::tuple(b.state, b.hasData, b.data, b.tbe.ackCtr,
+                              b.tbe.countReceived, b.tbe.savedAckCount,
+                              b.tbe.stashedCtr, b.tbe.stashedRecv, bud,
+                              n);
+        };
+        std::vector<NodeId> order = cls;
+        std::sort(order.begin(), order.end(),
+                  [&](NodeId a, NodeId b) { return sig(a) < sig(b); });
+        // order[k] is the old id that moves into the class's k-th slot.
+        for (size_t k = 0; k < cls.size(); ++k)
+            perm[static_cast<size_t>(order[k])] = cls[k];
+    }
+}
+
+/** Shared body of canonicalize()/encodeCanonicalTo(). When @p encOut
+ *  is non-null it receives the canonical encoding, reusing the
+ *  encoding the orbit search already computed. */
+void
+canonicalizeImpl(SysState &st, const System &sys, std::string *encOut)
+{
+    if (sys.symClasses.empty()) {
+        if (encOut)
+            st.encodeTo(*encOut);
+        return;
+    }
+
+    static thread_local CanonScratch cs;
+    cs.perm.resize(st.blocks.size());
+
+    uint64_t numPerms = 1;
+    for (const auto &cls : sys.symClasses) {
+        for (size_t k = 2; k <= cls.size() && numPerms <= kMaxEnumPerms;
+             ++k) {
+            numPerms *= k;
+        }
+        if (numPerms > kMaxEnumPerms)
+            break;
+    }
+    if (numPerms > kMaxEnumPerms) {
+        sortedOrbitPerm(sys, st, cs.perm);
+        bool identity = true;
+        for (size_t i = 0; i < cs.perm.size(); ++i)
+            identity = identity && cs.perm[i] == static_cast<NodeId>(i);
+        if (!identity) {
+            applyPerm(sys, cs.perm, st, cs.cand);
+            std::swap(st, cs.cand);
+        }
+        if (encOut)
+            st.encodeTo(*encOut);
+        return;
+    }
+
+    // Exact mode: walk the full product group, keeping whichever
+    // image encodes lexicographically least. The minimum over the
+    // whole orbit is permutation-invariant, so every member of an
+    // orbit lands on the same representative.
+    st.encodeTo(cs.bestEnc);  // identity is the baseline
+    cs.arrangement.assign(sys.symClasses.begin(), sys.symClasses.end());
+    for (size_t i = 0; i < cs.perm.size(); ++i)
+        cs.perm[i] = static_cast<NodeId>(i);
+    bool haveBest = false;
+    for (;;) {
+        // Odometer step over per-class permutations; next_permutation
+        // wrapping back to sorted carries into the next class.
+        size_t c = 0;
+        while (c < cs.arrangement.size() &&
+               !std::next_permutation(cs.arrangement[c].begin(),
+                                      cs.arrangement[c].end())) {
+            ++c;
+        }
+        if (c == cs.arrangement.size())
+            break;  // cycled through every composite permutation
+        for (size_t ci = 0; ci < sys.symClasses.size(); ++ci) {
+            const auto &cls = sys.symClasses[ci];
+            for (size_t k = 0; k < cls.size(); ++k)
+                cs.perm[static_cast<size_t>(cls[k])] =
+                    cs.arrangement[ci][k];
+        }
+        applyPerm(sys, cs.perm, st, cs.cand);
+        cs.cand.encodeTo(cs.candEnc);
+        if (cs.candEnc < cs.bestEnc) {
+            cs.bestEnc.swap(cs.candEnc);
+            std::swap(cs.best, cs.cand);
+            haveBest = true;
+        }
+    }
+    if (haveBest)
+        std::swap(st, cs.best);
+    if (encOut)
+        encOut->assign(cs.bestEnc);
+}
+
+} // namespace
+
+void
+SysState::canonicalize(const System &sys)
+{
+    canonicalizeImpl(*this, sys, nullptr);
+}
+
+void
+SysState::encodeCanonicalTo(const System &sys, std::string &out)
+{
+    canonicalizeImpl(*this, sys, &out);
 }
 
 bool

@@ -27,6 +27,23 @@ struct System
     std::vector<NodeCtx> nodes;
     std::vector<NodeId> leafCaches;  ///< SWMR/data-value participants
 
+    /**
+     * Symmetry groups for scalarset-style state canonicalization
+     * (Murphi's symmetry reduction). Each inner vector lists >= 2
+     * node ids, ascending, that are fully interchangeable: they run
+     * the same Machine, hang off the same parent, and play the same
+     * role (core/cache peers in flat systems; cache-H peers and
+     * cache-L peers in hierarchical ones). Permuting the members of a
+     * class — renaming them inside messages, sharer masks, owner and
+     * TBE fields, and permuting their block/budget slots — maps
+     * reachable states to reachable states and preserves every
+     * checked property, because all members share one Machine.
+     */
+    std::vector<std::vector<NodeId>> symClasses;
+
+    /** node id -> index into leafCaches (-1 for non-leaf nodes). */
+    std::vector<int32_t> leafIndex;
+
     NodeId
     dirCacheNode() const
     {
@@ -59,6 +76,15 @@ struct SysState
     void insertMsg(const Msg &m);
     void removeMsg(size_t index);
 
+    /**
+     * Become a copy of @p src minus src.msgs[index], in one pass.
+     * Equivalent to `*this = src; removeMsg(index);` but skips the
+     * tail shift of the middle erase and never copies the dropped
+     * message; vector capacities are reused across calls, so the
+     * checker's delivery hot loop allocates nothing in steady state.
+     */
+    void assignWithoutMsg(const SysState &src, size_t index);
+
     /** Ordered-vnet FIFO check: may msgs[index] be delivered now? */
     bool deliverable(const MsgTypeTable &types, size_t index) const;
 
@@ -77,6 +103,25 @@ struct SysState
     /** encode() into a caller-owned buffer (cleared first), so hot
      *  loops can reuse one allocation per thread. */
     void encodeTo(std::string &out) const;
+
+    /**
+     * Symmetry reduction: replace *this with the representative of
+     * its orbit under sys.symClasses — for small orbit products the
+     * lexicographically least encoding over all permutations of each
+     * symmetry class, for large classes a sorted-orbit heuristic
+     * (members ordered by a local signature). Two states related by
+     * any class permutation canonicalize to the same representative
+     * under full enumeration; the heuristic is still sound (the
+     * result is always a reachable permutation image) but may keep
+     * more than one representative per orbit. No-op when symClasses
+     * is empty.
+     */
+    void canonicalize(const System &sys);
+
+    /** Canonical variant of encodeTo(): canonicalize() in place,
+     *  then encode. The state *is* mutated (it becomes the orbit
+     *  representative), which is what the checker stores/expands. */
+    void encodeCanonicalTo(const System &sys, std::string &out);
 
     /** All controllers stable and no messages in flight. */
     bool quiescent(const System &sys) const;
