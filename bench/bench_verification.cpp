@@ -18,7 +18,6 @@
  * and multi-threaded to record the parallel speedup.
  */
 
-#include <chrono>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -26,6 +25,7 @@
 #include <thread>
 
 #include "bench_common.hh"
+#include "util/stopwatch.hh"
 
 using namespace hieragen;
 
@@ -51,14 +51,6 @@ struct Measurement
     double reductionFactor = 1.0;
 };
 
-double
-msSince(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
-
 Measurement
 runConfig(const HierProtocol &p, const std::string &proto,
           const std::string &variant, const std::string &config,
@@ -67,7 +59,7 @@ runConfig(const HierProtocol &p, const std::string &proto,
 {
     verif::CheckOptions o = opts;
     o.numThreads = threads;
-    auto t0 = std::chrono::steady_clock::now();
+    util::Stopwatch sw;
     auto r = verif::checkHier(p, nh, nl, o);
     Measurement m;
     m.protocol = proto;
@@ -76,7 +68,7 @@ runConfig(const HierProtocol &p, const std::string &proto,
     m.threads = threads;
     m.ok = r.ok;
     m.states = r.statesExplored;
-    m.ms = msSince(t0);
+    m.ms = sw.ms();
     m.statesPerSec =
         m.ms > 0 ? static_cast<double>(r.statesExplored) * 1e3 / m.ms
                  : 0.0;
@@ -139,12 +131,9 @@ writeJson(const std::vector<Measurement> &rows, unsigned threads,
 // --micro: hot-path microbenchmarks for the state substrate.
 
 double
-nsPerOp(uint64_t iters, std::chrono::steady_clock::time_point t0)
+nsPerOp(uint64_t iters, const util::Stopwatch &sw)
 {
-    return std::chrono::duration<double, std::nano>(
-               std::chrono::steady_clock::now() - t0)
-               .count() /
-           static_cast<double>(iters);
+    return sw.ns() / static_cast<double>(iters);
 }
 
 int
@@ -179,7 +168,7 @@ runMicro()
 
     // Old delivery path: full copy, then erase from the middle.
     {
-        auto t0 = std::chrono::steady_clock::now();
+        util::Stopwatch t0;
         for (uint64_t i = 0; i < kIters; ++i) {
             scratch = st;
             scratch.removeMsg(i % st.msgs.size());
@@ -190,7 +179,7 @@ runMicro()
     }
     // New delivery path: single-pass copy-minus-one.
     {
-        auto t0 = std::chrono::steady_clock::now();
+        util::Stopwatch t0;
         for (uint64_t i = 0; i < kIters; ++i)
             scratch.assignWithoutMsg(st, i % st.msgs.size());
         std::cout << "  assignWithoutMsg:        " << std::fixed
@@ -203,7 +192,7 @@ runMicro()
     std::string enc;
     constexpr uint64_t kEncIters = 500'000;
     {
-        auto t0 = std::chrono::steady_clock::now();
+        util::Stopwatch t0;
         for (uint64_t i = 0; i < kEncIters; ++i)
             st.encodeTo(enc);
         std::cout << "  encodeTo:                " << std::fixed
@@ -211,7 +200,7 @@ runMicro()
                   << " ns/op\n";
     }
     {
-        auto t0 = std::chrono::steady_clock::now();
+        util::Stopwatch t0;
         for (uint64_t i = 0; i < kEncIters; ++i) {
             scratch = st;
             scratch.encodeCanonicalTo(sys, enc);

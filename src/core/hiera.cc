@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "core/passes.hh"
 #include "util/logging.hh"
 
 namespace hieragen::core
@@ -69,8 +70,10 @@ class DirCacheUpperPass
 {
   public:
     DirCacheUpperPass(HierProtocol &p, ConcurrencyMode mode,
-                      HierGenStats &stats)
-        : p_(p), dc_(p.dirCache), mode_(mode), stats_(stats)
+                      protogen::ConcurrencyStats &stats,
+                      size_t &dirCacheRaceStates)
+        : p_(p), dc_(p.dirCache), mode_(mode), stats_(stats),
+          raceStates_(dirCacheRaceStates)
     {
         for (size_t ti = 0; ti < p_.msgs.size(); ++ti) {
             MsgTypeId t = static_cast<MsgTypeId>(ti);
@@ -119,7 +122,8 @@ class DirCacheUpperPass
     HierProtocol &p_;
     Machine &dc_;
     ConcurrencyMode mode_;
-    HierGenStats &stats_;
+    protogen::ConcurrencyStats &stats_;
+    size_t &raceStates_;
     std::vector<MsgTypeId> fwdsH_;
     std::vector<MsgTypeId> respsH_;
     std::set<StateId> addedStates_;
@@ -234,7 +238,7 @@ class DirCacheUpperPass
                     h ? FwdEpoch::Future : FwdEpoch::None;
                 if (mode_ == ConcurrencyMode::Stalling) {
                     addStall(t, EventKey::mkMsg(f, key_epoch));
-                    ++stats_.concurrency.futureStallTransitions;
+                    ++stats_.futureStallTransitions;
                 } else {
                     handleFuture(t, st, f, ends, key_epoch);
                 }
@@ -276,7 +280,7 @@ class DirCacheUpperPass
             race.ops = h.ops;
             race.next = target;
             dc_.addTransition(t, ev, std::move(race));
-            ++stats_.concurrency.pastRaceTransitions;
+            ++stats_.pastRaceTransitions;
             return;
         }
 
@@ -312,7 +316,7 @@ class DirCacheUpperPass
         if (race.next == kNoState)
             return;
         dc_.addTransition(t, ev, std::move(race));
-        ++stats_.concurrency.pastRaceTransitions;
+        ++stats_.pastRaceTransitions;
     }
 
     /**
@@ -396,7 +400,7 @@ class DirCacheUpperPass
         // Higher-level traffic (including our own pending response)
         // waits until the proxy window closes.
         stallAllHigher(id);
-        ++stats_.dirCacheRaceStates;
+        ++raceStates_;
         return id;
     }
 
@@ -412,7 +416,7 @@ class DirCacheUpperPass
         StateId copy = deferCopy(t, st, f, ends);
         if (copy == kNoState) {
             addStall(t, ev);
-            ++stats_.concurrency.futureStallTransitions;
+            ++stats_.futureStallTransitions;
             return;
         }
         Transition defer;
@@ -439,7 +443,7 @@ class DirCacheUpperPass
         StateId id = dc_.addState(cs);
         addedStates_.insert(id);
         deferCopies_[key] = id;
-        ++stats_.concurrency.futureDeferStates;
+        ++stats_.futureDeferStates;
 
         std::vector<std::pair<EventKey, std::vector<Transition>>> rows;
         for (const auto &[k, alts] : dc_.table()) {
@@ -527,47 +531,30 @@ class DirCacheUpperPass
 
 } // namespace
 
+void
+injectDirCacheRaces(HierProtocol &p, ConcurrencyMode mode,
+                    protogen::ConcurrencyStats &stats,
+                    size_t &dirCacheRaceStates)
+{
+    DirCacheUpperPass(p, mode, stats, dirCacheRaceStates).run();
+}
+
 HierProtocol
 generate(const Protocol &lower, const Protocol &higher,
          const HierGenOptions &opts, HierGenStats *stats)
 {
-    HierGenStats local;
-    HierProtocol p = composeAtomic(lower, higher, opts.compose);
-    p.mode = opts.mode;
-
-    if (opts.mode != ConcurrencyMode::Atomic) {
-        // The dir/cache's upper half first: its race copies must exist
-        // before the directory passes add stalls and stamp epochs.
-        DirCacheUpperPass(p, opts.mode, local).run();
-
-        protogen::concurrentizeDirectory(p.root, p.msgs, p.infoH,
-                                         Level::Higher,
-                                         local.concurrency);
-        protogen::concurrentizeDirectory(p.dirCache, p.msgs, p.infoL,
-                                         Level::Lower,
-                                         local.concurrency);
-        protogen::concurrentizeCache(p.cacheH, p.msgs, p.infoH,
-                                     Level::Higher, opts.mode,
-                                     local.concurrency);
-        protogen::concurrentizeCache(p.cacheL, p.msgs, p.infoL,
-                                     Level::Lower, opts.mode,
-                                     local.concurrency);
-
-        if (opts.mergeEquivalentStates) {
-            local.concurrency.mergedStates +=
-                protogen::mergeEquivalentStates(p.cacheL);
-            local.concurrency.mergedStates +=
-                protogen::mergeEquivalentStates(p.cacheH);
-            local.concurrency.mergedStates +=
-                protogen::mergeEquivalentStates(p.dirCache);
-            local.concurrency.mergedStates +=
-                protogen::mergeEquivalentStates(p.root);
-        }
+    pipeline::PassManager pm = buildPipeline(opts);
+    pipeline::ProtocolBundle b;
+    b.lower = &lower;
+    b.higher = &higher;
+    b.mode = opts.mode;
+    b.dirCacheEvictions = opts.compose.dirCacheEvictions;
+    pm.run(b);
+    if (stats) {
+        stats->concurrency = b.concurrency;
+        stats->dirCacheRaceStates = b.dirCacheRaceStates;
     }
-
-    if (stats)
-        *stats = local;
-    return p;
+    return std::move(b.hier);
 }
 
 std::vector<HierProtocol>
@@ -575,9 +562,18 @@ generateDeep(const std::vector<const Protocol *> &levels,
              const HierGenOptions &opts)
 {
     HG_ASSERT(levels.size() >= 2, "deep hierarchy needs >= 2 levels");
+    // One pipeline assembly, reused across every adjacent level pair.
+    pipeline::PassManager pm = buildPipeline(opts);
     std::vector<HierProtocol> out;
-    for (size_t i = 0; i + 1 < levels.size(); ++i)
-        out.push_back(generate(*levels[i], *levels[i + 1], opts));
+    for (size_t i = 0; i + 1 < levels.size(); ++i) {
+        pipeline::ProtocolBundle b;
+        b.lower = levels[i];
+        b.higher = levels[i + 1];
+        b.mode = opts.mode;
+        b.dirCacheEvictions = opts.compose.dirCacheEvictions;
+        pm.run(b);
+        out.push_back(std::move(b.hier));
+    }
     return out;
 }
 

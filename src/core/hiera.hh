@@ -30,10 +30,27 @@ struct HierGenStats
 /**
  * Generate a hierarchical protocol from two flat atomic SSPs.
  * @p lower attaches below @p higher as in Figure 1(b)/(d).
+ *
+ * This is a thin assembly over the pass pipeline (core/passes.hh):
+ * it builds the standard pipeline for @p opts and runs it over a
+ * bundle holding the two SSPs. Callers needing per-pass
+ * instrumentation, lint gates, or stage dumps should use
+ * buildPipeline() directly.
  */
 HierProtocol generate(const Protocol &lower, const Protocol &higher,
                       const HierGenOptions &opts = {},
                       HierGenStats *stats = nullptr);
+
+/**
+ * Pass entry point for the dir/cache's upper (cache toward root)
+ * half: add race handling for Past/Future higher-level forwards that
+ * arrive while an encapsulated lower transaction or a dir/cache
+ * eviction is in flight. Must run before the directory passes stamp
+ * epochs and add stalls (its race copies need those rules too).
+ */
+void injectDirCacheRaces(HierProtocol &p, ConcurrencyMode mode,
+                         protogen::ConcurrencyStats &stats,
+                         size_t &dirCacheRaceStates);
 
 /**
  * Compose an existing hierarchical protocol's *whole subtree* as the

@@ -1,0 +1,335 @@
+#include "core/passes.hh"
+
+#include "core/compose.hh"
+#include "protogen/concurrent.hh"
+#include "util/logging.hh"
+
+namespace hieragen::core
+{
+
+namespace
+{
+
+using pipeline::Pass;
+using pipeline::ProtocolBundle;
+
+class LowerSspPass : public Pass
+{
+  public:
+    const char *name() const override { return "lower-ssp"; }
+    const char *
+    description() const override
+    {
+        return "validate the two flat SSP inputs (access paths, "
+               "invalid state, eviction map)";
+    }
+
+    void
+    run(ProtocolBundle &b) override
+    {
+        if (!b.lower || !b.higher)
+            fatal("lower-ssp: bundle is missing an input SSP");
+        checkSsp("lower", *b.lower);
+        checkSsp("higher", *b.higher);
+        b.sspAnalyzed = true;
+    }
+
+  private:
+    static void
+    checkSsp(const char *which, const Protocol &p)
+    {
+        // Re-derive the semantic facts from the machines and hold the
+        // input to the same contract compose relies on: an initial
+        // (invalid) state and a request path for both access types.
+        SspInfo info = analyzeSsp(p.msgs, p.cache, p.directory);
+        if (info.invalidState == kNoState) {
+            fatal("lower-ssp: ", which, " SSP '", p.name,
+                  "' has no invalid (initial) state");
+        }
+        for (Access a : {Access::Load, Access::Store}) {
+            const CacheAccessPath *path = info.pathFromInvalid(a);
+            if (!path || !path->allowed) {
+                fatal("lower-ssp: ", which, " SSP '", p.name,
+                      "' defines no ", toString(a),
+                      " path from its invalid state");
+            }
+        }
+        if (info.requestAccess.empty()) {
+            fatal("lower-ssp: ", which, " SSP '", p.name,
+                  "' issues no requests");
+        }
+    }
+};
+
+class CompatPass : public Pass
+{
+  public:
+    explicit CompatPass(bool conservative) : conservative_(conservative)
+    {}
+
+    const char *
+    name() const override
+    {
+        return conservative_ ? "compat-conservative"
+                             : "compat-optimized";
+    }
+
+    const char *
+    description() const override
+    {
+        return conservative_
+                   ? "choose the V-D conservative compatibility "
+                     "solution (request the greatest permission a "
+                     "silent upgrade could confer)"
+                   : "choose the V-D optimized compatibility solution "
+                     "(request nominal permission, limit the "
+                     "lower-level grant)";
+    }
+
+    void
+    run(ProtocolBundle &b) override
+    {
+        if (b.composed) {
+            fatal(name(), ": the compatibility solution must be "
+                          "chosen before compose runs");
+        }
+        b.conservativeCompat = conservative_;
+        b.compatChosen = true;
+    }
+
+  private:
+    bool conservative_;
+};
+
+class ComposePass : public Pass
+{
+  public:
+    const char *name() const override { return "compose"; }
+    const char *
+    description() const override
+    {
+        return "Step 1: compose cache-H x dir-L (+ proxy-cache) into "
+               "the atomic hierarchical protocol";
+    }
+
+    void
+    run(ProtocolBundle &b) override
+    {
+        if (!b.sspAnalyzed)
+            fatal("compose: run lower-ssp first");
+        if (!b.compatChosen) {
+            fatal("compose: choose a compatibility solution first "
+                  "(compat-conservative or compat-optimized)");
+        }
+        if (b.composed)
+            fatal("compose: already ran on this bundle");
+        ComposeOptions co;
+        co.conservativeCompat = b.conservativeCompat;
+        co.dirCacheEvictions = b.dirCacheEvictions;
+        b.hier = composeAtomic(*b.lower, *b.higher, co);
+        b.composed = true;
+    }
+};
+
+class ConcurrencyPass : public Pass
+{
+  public:
+    explicit ConcurrencyPass(ConcurrencyMode mode) : mode_(mode)
+    {
+        HG_ASSERT(mode != ConcurrencyMode::Atomic,
+                  "no concurrency pass for atomic mode");
+    }
+
+    const char *
+    name() const override
+    {
+        return mode_ == ConcurrencyMode::Stalling
+                   ? "concurrency-stalling"
+                   : "concurrency-nonstalling";
+    }
+
+    const char *
+    description() const override
+    {
+        return mode_ == ConcurrencyMode::Stalling
+                   ? "Step 2: inject concurrency, stalling "
+                     "Future-epoch forwards"
+                   : "Step 2: inject concurrency, deferring "
+                     "Future-epoch forwards in the TBE";
+    }
+
+    void
+    run(ProtocolBundle &b) override
+    {
+        if (!b.composed)
+            fatal(name(), ": compose must run first");
+        if (b.racesInjected)
+            fatal(name(), ": concurrency was already injected");
+        b.hier.mode = mode_;
+        // The dir/cache's upper half first: its race copies must
+        // exist before rename-forwarded adds stalls and stamps
+        // epochs on the directory halves.
+        injectDirCacheRaces(b.hier, mode_, b.concurrency,
+                            b.dirCacheRaceStates);
+        protogen::concurrentizeCache(b.hier.cacheH, b.hier.msgs,
+                                     b.hier.infoH, Level::Higher,
+                                     mode_, b.concurrency);
+        protogen::concurrentizeCache(b.hier.cacheL, b.hier.msgs,
+                                     b.hier.infoL, Level::Lower, mode_,
+                                     b.concurrency);
+        b.racesInjected = true;
+    }
+
+  private:
+    ConcurrencyMode mode_;
+};
+
+class RenameForwardedPass : public Pass
+{
+  public:
+    const char *name() const override { return "rename-forwarded"; }
+    const char *
+    description() const override
+    {
+        return "stamp serialization epochs on directory forwards "
+               "(request renaming); add stale-eviction and "
+               "transient-stall rules";
+    }
+
+    void
+    run(ProtocolBundle &b) override
+    {
+        if (!b.racesInjected) {
+            fatal("rename-forwarded: a concurrency-* pass must run "
+                  "first (its dir/cache race copies need epoch "
+                  "stamps too)");
+        }
+        if (b.forwardsRenamed)
+            fatal("rename-forwarded: already ran on this bundle");
+        protogen::concurrentizeDirectory(b.hier.root, b.hier.msgs,
+                                         b.hier.infoH, Level::Higher,
+                                         b.concurrency);
+        protogen::concurrentizeDirectory(b.hier.dirCache, b.hier.msgs,
+                                         b.hier.infoL, Level::Lower,
+                                         b.concurrency);
+        b.forwardsRenamed = true;
+    }
+};
+
+class MergeEquivalentPass : public Pass
+{
+  public:
+    const char *name() const override { return "merge-equivalent"; }
+    const char *
+    description() const override
+    {
+        return "merge behaviorally equivalent transient states (V-E)";
+    }
+
+    void
+    run(ProtocolBundle &b) override
+    {
+        if (!b.composed)
+            fatal("merge-equivalent: compose must run first");
+        size_t merged = 0;
+        merged += protogen::mergeEquivalentStates(b.hier.cacheL);
+        merged += protogen::mergeEquivalentStates(b.hier.cacheH);
+        merged += protogen::mergeEquivalentStates(b.hier.dirCache);
+        merged += protogen::mergeEquivalentStates(b.hier.root);
+        b.mergedStates += merged;
+        b.concurrency.mergedStates += merged;
+    }
+};
+
+class PruneUnreachablePass : public Pass
+{
+  public:
+    const char *name() const override { return "prune-unreachable"; }
+    const char *
+    description() const override
+    {
+        return "report table rows no transition path reaches; erase "
+               "them when the bundle's prune flag is set";
+    }
+
+    void
+    run(ProtocolBundle &b) override
+    {
+        if (!b.composed)
+            fatal("prune-unreachable: compose must run first");
+        for (Machine *m : b.hier.machinesMutable()) {
+            if (b.prune) {
+                size_t n = protogen::pruneUnreachableRows(*m);
+                b.deadRows += n;
+                b.prunedRows += n;
+            } else {
+                b.deadRows += protogen::countUnreachableRows(*m);
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::vector<PassInfo>
+listPasses()
+{
+    std::vector<PassInfo> out;
+    for (const char *name :
+         {"lower-ssp", "compat-conservative", "compat-optimized",
+          "compose", "concurrency-stalling", "concurrency-nonstalling",
+          "rename-forwarded", "merge-equivalent",
+          "prune-unreachable"}) {
+        out.push_back({name, makePass(name)->description()});
+    }
+    return out;
+}
+
+std::unique_ptr<pipeline::Pass>
+makePass(const std::string &name)
+{
+    if (name == "lower-ssp")
+        return std::make_unique<LowerSspPass>();
+    if (name == "compat-conservative")
+        return std::make_unique<CompatPass>(true);
+    if (name == "compat-optimized")
+        return std::make_unique<CompatPass>(false);
+    if (name == "compose")
+        return std::make_unique<ComposePass>();
+    if (name == "concurrency-stalling")
+        return std::make_unique<ConcurrencyPass>(
+            ConcurrencyMode::Stalling);
+    if (name == "concurrency-nonstalling")
+        return std::make_unique<ConcurrencyPass>(
+            ConcurrencyMode::NonStalling);
+    if (name == "rename-forwarded")
+        return std::make_unique<RenameForwardedPass>();
+    if (name == "merge-equivalent")
+        return std::make_unique<MergeEquivalentPass>();
+    if (name == "prune-unreachable")
+        return std::make_unique<PruneUnreachablePass>();
+    fatal("unknown pass '", name, "' (see --list-passes)");
+}
+
+pipeline::PassManager
+buildPipeline(const HierGenOptions &opts)
+{
+    pipeline::PassManager pm;
+    pm.add(makePass("lower-ssp"));
+    pm.add(makePass(opts.compose.conservativeCompat
+                        ? "compat-conservative"
+                        : "compat-optimized"));
+    pm.add(makePass("compose"));
+    if (opts.mode != ConcurrencyMode::Atomic) {
+        pm.add(makePass(opts.mode == ConcurrencyMode::Stalling
+                            ? "concurrency-stalling"
+                            : "concurrency-nonstalling"));
+        pm.add(makePass("rename-forwarded"));
+        if (opts.mergeEquivalentStates)
+            pm.add(makePass("merge-equivalent"));
+    }
+    pm.add(makePass("prune-unreachable"));
+    return pm;
+}
+
+} // namespace hieragen::core

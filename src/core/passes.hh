@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The generation flow as registered pipeline passes.
+ *
+ * Each transformation of the paper's tool flow (Figure 2) is a named
+ * pipeline::Pass over a ProtocolBundle:
+ *
+ *   lower-ssp                validate the flat SSP inputs
+ *   compat-conservative      choose the V-D conservative solution
+ *   compat-optimized         choose the V-D optimized solution
+ *   compose                  Step 1: cache-H x dir-L (+ proxy-cache)
+ *   concurrency-stalling     Step 2, stalling variant
+ *   concurrency-nonstalling  Step 2, non-stalling variant
+ *   rename-forwarded         directory epoch stamping + stale rules
+ *   merge-equivalent         merge equivalent transients (V-E)
+ *   prune-unreachable        report/erase dead table rows
+ *
+ * buildPipeline() assembles the standard sequence for a set of
+ * HierGenOptions; core::generate() is a thin wrapper around it. The
+ * registry here backs the CLI's --list-passes and custom assemblies.
+ */
+
+#ifndef HIERAGEN_CORE_PASSES_HH
+#define HIERAGEN_CORE_PASSES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hiera.hh"
+#include "pipeline/pipeline.hh"
+
+namespace hieragen::core
+{
+
+struct PassInfo
+{
+    std::string name;
+    std::string description;
+};
+
+/** All registered passes, in canonical pipeline order. */
+std::vector<PassInfo> listPasses();
+
+/** Instantiate a registered pass by name; fatal() if unknown. */
+std::unique_ptr<pipeline::Pass> makePass(const std::string &name);
+
+/**
+ * Assemble the standard generation pipeline for @p opts: the pass
+ * sequence whose output is table-identical to the classic
+ * generate() flow. Option routing is pass selection — the compat
+ * choice picks which compat-* pass is added, the mode picks the
+ * concurrency-* pass (none for atomic), and mergeEquivalentStates
+ * includes or drops merge-equivalent.
+ */
+pipeline::PassManager buildPipeline(const HierGenOptions &opts);
+
+} // namespace hieragen::core
+
+#endif // HIERAGEN_CORE_PASSES_HH

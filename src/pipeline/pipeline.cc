@@ -1,0 +1,268 @@
+#include "pipeline/pipeline.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "fsm/printer.hh"
+#include "util/logging.hh"
+#include "util/stopwatch.hh"
+
+namespace hieragen::pipeline
+{
+
+namespace
+{
+
+size_t
+transientCount(const Machine &m)
+{
+    size_t n = 0;
+    for (StateId s = 0; s < static_cast<StateId>(m.numStates()); ++s) {
+        if (!m.state(s).stable)
+            ++n;
+    }
+    return n;
+}
+
+struct Snapshot
+{
+    std::string label;
+    size_t states = 0;
+    size_t transients = 0;
+    size_t transitions = 0;
+};
+
+std::vector<Snapshot>
+snapshot(const ProtocolBundle &b)
+{
+    std::vector<Snapshot> out;
+    for (const auto &ref : b.machinesInPlay()) {
+        out.push_back({ref.label, ref.machine->numStates(),
+                       transientCount(*ref.machine),
+                       ref.machine->numTransitions()});
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<ProtocolBundle::MachineRef>
+ProtocolBundle::machinesInPlay() const
+{
+    std::vector<MachineRef> out;
+    if (composed) {
+        out.push_back({"cacheL", &hier.cacheL, &hier.msgs});
+        out.push_back({"dircache", &hier.dirCache, &hier.msgs});
+        out.push_back({"cacheH", &hier.cacheH, &hier.msgs});
+        out.push_back({"root", &hier.root, &hier.msgs});
+        return out;
+    }
+    if (lower) {
+        out.push_back({"lower.cache", &lower->cache, &lower->msgs});
+        out.push_back(
+            {"lower.directory", &lower->directory, &lower->msgs});
+    }
+    if (higher) {
+        out.push_back({"higher.cache", &higher->cache, &higher->msgs});
+        out.push_back(
+            {"higher.directory", &higher->directory, &higher->msgs});
+    }
+    return out;
+}
+
+PassManager &
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    HG_ASSERT(pass != nullptr, "null pass");
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+void
+PassManager::setDumpAfter(const std::string &passName, std::ostream *os)
+{
+    dumpAfter_ = passName;
+    dumpOs_ = os;
+}
+
+std::vector<std::string>
+PassManager::passNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &p : passes_)
+        names.push_back(p->name());
+    return names;
+}
+
+bool
+PassManager::run(ProtocolBundle &b)
+{
+    HG_ASSERT(b.lower && b.higher, "bundle needs both input SSPs");
+    if (!dumpAfter_.empty()) {
+        auto names = passNames();
+        if (std::find(names.begin(), names.end(), dumpAfter_) ==
+            names.end()) {
+            fatal("--dump-after: no pass named '", dumpAfter_,
+                  "' in this pipeline");
+        }
+    }
+
+    report_.clear();
+    for (const auto &pass : passes_) {
+        PassRunStats st;
+        st.pass = pass->name();
+
+        std::vector<Snapshot> before = snapshot(b);
+        {
+            util::ScopedTimer timer(st.ms);
+            pass->run(b);
+        }
+        std::vector<Snapshot> after = snapshot(b);
+
+        // Match snapshots by label: compose swaps the flat input
+        // machines for the four hierarchical ones, so machines can
+        // appear (before = 0) or drop out between the two snapshots.
+        for (const auto &a : after) {
+            MachineDelta d;
+            d.machine = a.label;
+            d.statesAfter = a.states;
+            d.transientsAfter = a.transients;
+            d.transitionsAfter = a.transitions;
+            for (const auto &bs : before) {
+                if (bs.label == a.label) {
+                    d.statesBefore = bs.states;
+                    d.transientsBefore = bs.transients;
+                    d.transitionsBefore = bs.transitions;
+                    break;
+                }
+            }
+            st.machines.push_back(std::move(d));
+        }
+
+        if (dumpOs_ && pass->name() == dumpAfter_) {
+            *dumpOs_ << "=== after pass " << pass->name() << " ===\n";
+            for (const auto &ref : b.machinesInPlay())
+                printMachine(*dumpOs_, *ref.msgs, *ref.machine);
+        }
+
+        if (lintGates_) {
+            st.gated = true;
+            for (const auto &ref : b.machinesInPlay()) {
+                auto issues = lintMachine(*ref.msgs, *ref.machine);
+                st.lintIssues.insert(st.lintIssues.end(),
+                                     issues.begin(), issues.end());
+            }
+            if (!st.lintIssues.empty()) {
+                report_.push_back(std::move(st));
+                return false;
+            }
+        }
+        report_.push_back(std::move(st));
+    }
+    return true;
+}
+
+std::string
+PassManager::statsJson(const ProtocolBundle &b) const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"protocol\": \"" << b.hier.name << "\",\n";
+    os << "  \"mode\": \"" << toString(b.hier.mode) << "\",\n";
+    double total = 0.0;
+    os << "  \"passes\": [\n";
+    for (size_t i = 0; i < report_.size(); ++i) {
+        const PassRunStats &st = report_[i];
+        total += st.ms;
+        os << "    {\"name\": \"" << st.pass << "\", \"ms\": "
+           << std::fixed << std::setprecision(3) << st.ms
+           << ", \"gated\": " << (st.gated ? "true" : "false")
+           << ", \"lint_issues\": " << st.lintIssues.size()
+           << ",\n     \"machines\": [";
+        for (size_t j = 0; j < st.machines.size(); ++j) {
+            const MachineDelta &d = st.machines[j];
+            if (j)
+                os << ",";
+            os << "\n       {\"name\": \"" << d.machine
+               << "\", \"states\": [" << d.statesBefore << ", "
+               << d.statesAfter << "], \"transients\": ["
+               << d.transientsBefore << ", " << d.transientsAfter
+               << "], \"transitions\": [" << d.transitionsBefore
+               << ", " << d.transitionsAfter << "]}";
+        }
+        os << "]}" << (i + 1 < report_.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"total_ms\": " << std::fixed << std::setprecision(3)
+       << total << ",\n";
+    os << "  \"stats\": {"
+       << "\"past_race_transitions\": "
+       << b.concurrency.pastRaceTransitions
+       << ", \"future_defer_states\": "
+       << b.concurrency.futureDeferStates
+       << ", \"future_stall_transitions\": "
+       << b.concurrency.futureStallTransitions
+       << ", \"stale_eviction_rules\": "
+       << b.concurrency.staleEvictionRules
+       << ", \"dir_stall_transitions\": "
+       << b.concurrency.dirStallTransitions
+       << ", \"merged_states\": " << b.mergedStates
+       << ", \"dircache_race_states\": " << b.dirCacheRaceStates
+       << ", \"dead_rows\": " << b.deadRows
+       << ", \"pruned_rows\": " << b.prunedRows << "}\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+PassManager::statsTable() const
+{
+    auto sum = [](const PassRunStats &st, auto field) {
+        size_t before = 0, after = 0;
+        for (const MachineDelta &d : st.machines) {
+            auto [b_, a_] = field(d);
+            before += b_;
+            after += a_;
+        }
+        return std::make_pair(before, after);
+    };
+
+    std::ostringstream os;
+    os << std::left << std::setw(26) << "pass" << std::right
+       << std::setw(9) << "ms" << std::setw(8) << "states"
+       << std::setw(7) << "(+)" << std::setw(7) << "trans"
+       << std::setw(7) << "(+)" << std::setw(7) << "transt"
+       << std::setw(7) << "(+)" << std::setw(6) << "lint" << "\n";
+    for (const PassRunStats &st : report_) {
+        auto [sb, sa] = sum(st, [](const MachineDelta &d) {
+            return std::make_pair(d.statesBefore, d.statesAfter);
+        });
+        auto [tb, ta] = sum(st, [](const MachineDelta &d) {
+            return std::make_pair(d.transitionsBefore,
+                                  d.transitionsAfter);
+        });
+        auto [nb, na] = sum(st, [](const MachineDelta &d) {
+            return std::make_pair(d.transientsBefore,
+                                  d.transientsAfter);
+        });
+        auto delta = [](size_t before, size_t after) {
+            std::ostringstream d;
+            d << std::showpos
+              << (static_cast<long long>(after) -
+                  static_cast<long long>(before));
+            return d.str();
+        };
+        os << std::left << std::setw(26) << st.pass << std::right
+           << std::setw(9) << std::fixed << std::setprecision(2)
+           << st.ms << std::setw(8) << sa << std::setw(7)
+           << delta(sb, sa) << std::setw(7) << ta << std::setw(7)
+           << delta(tb, ta) << std::setw(7) << na << std::setw(7)
+           << delta(nb, na) << std::setw(6)
+           << (st.gated ? std::to_string(st.lintIssues.size()) : "-")
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace hieragen::pipeline

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Pass-pipeline framework for the generation flow.
+ *
+ * The paper's tool flow (Figure 2) is a sequence of well-defined
+ * transformations; this module makes each one a named Pass over a
+ * shared ProtocolBundle IR, run by a PassManager that instruments
+ * every pass (wall time, per-machine state/transition deltas) and can
+ * interleave the structural lints of src/fsm/lint as inter-pass
+ * gates, so a malformed machine is attributed to the exact pass that
+ * introduced it.
+ *
+ * The framework is generation-logic-free: the concrete passes
+ * (lower-ssp, compose, concurrency-*, ...) live in src/core, which
+ * owns the generation entry points they wrap. See docs/PIPELINE.md.
+ */
+
+#ifndef HIERAGEN_PIPELINE_PIPELINE_HH
+#define HIERAGEN_PIPELINE_PIPELINE_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fsm/lint.hh"
+#include "fsm/protocol.hh"
+#include "protogen/concurrent.hh"
+
+namespace hieragen::pipeline
+{
+
+/**
+ * The shared IR the passes transform: the two flat SSPs going in, the
+ * in-progress hierarchical protocol, the knobs chosen by selection
+ * passes, and the accumulated generation statistics.
+ *
+ * Progress flags (sspAnalyzed, composed, ...) are how passes declare
+ * and check their ordering contract; a pass run out of order raises
+ * FatalError instead of producing a silently malformed machine.
+ */
+struct ProtocolBundle
+{
+    // --- Inputs (owned by the caller, alive for the whole run). ---
+    const Protocol *lower = nullptr;
+    const Protocol *higher = nullptr;
+
+    /** Target concurrency mode, for reporting only; the concurrency
+     *  pass that actually runs determines the result's mode. */
+    ConcurrencyMode mode = ConcurrencyMode::Atomic;
+
+    /** Generate dir/cache eviction logic (paper V-B-3). */
+    bool dirCacheEvictions = true;
+
+    /** Erase (rather than just report) dead rows in prune-unreachable.
+     *  Off by default: the default assembly is table-identical to the
+     *  classic generate() flow. */
+    bool prune = false;
+
+    // --- Knobs chosen by selection passes. ---
+    bool conservativeCompat = true;  ///< set by compat-* (paper V-D)
+    bool compatChosen = false;
+
+    // --- The protocol being built. ---
+    HierProtocol hier;
+
+    // --- Progress flags (the pass-ordering contract). ---
+    bool sspAnalyzed = false;     ///< lower-ssp ran
+    bool composed = false;        ///< compose ran; hier is valid
+    bool racesInjected = false;   ///< concurrency-* ran
+    bool forwardsRenamed = false; ///< rename-forwarded ran
+
+    // --- Accumulated stats. ---
+    protogen::ConcurrencyStats concurrency;
+    size_t dirCacheRaceStates = 0; ///< race copies on the dir/cache
+    size_t mergedStates = 0;
+    size_t deadRows = 0;   ///< unreachable rows found by prune pass
+    size_t prunedRows = 0; ///< rows actually erased (prune == true)
+
+    /** A machine the pipeline currently operates on, with the message
+     *  table its ids resolve against (flat machines use their own
+     *  level's table; composed machines use the merged one). */
+    struct MachineRef
+    {
+        std::string label;
+        const Machine *machine = nullptr;
+        const MsgTypeTable *msgs = nullptr;
+    };
+
+    /** Machines in play: the four hier machines once composed, the
+     *  flat input machines before that. Gates, dumps, and the delta
+     *  instrumentation all iterate this set. */
+    std::vector<MachineRef> machinesInPlay() const;
+};
+
+/** One transformation of the bundle, identified by a stable name. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+    virtual const char *name() const = 0;
+    virtual const char *description() const = 0;
+    /** Transform the bundle; fatal() on an ordering violation. */
+    virtual void run(ProtocolBundle &b) = 0;
+};
+
+/** Per-machine size snapshot deltas for one pass run. */
+struct MachineDelta
+{
+    std::string machine;
+    size_t statesBefore = 0, statesAfter = 0;
+    size_t transientsBefore = 0, transientsAfter = 0;
+    size_t transitionsBefore = 0, transitionsAfter = 0;
+};
+
+/** Instrumentation record for one pass run. */
+struct PassRunStats
+{
+    std::string pass;
+    double ms = 0.0;
+    std::vector<MachineDelta> machines;
+    bool gated = false; ///< a lint gate ran after this pass
+    std::vector<LintIssue> lintIssues;
+};
+
+/**
+ * Runs a sequence of passes over a bundle with per-pass
+ * instrumentation, optional inter-pass lint gates, and optional
+ * post-pass table dumps. Holds no bundle state: one manager can be
+ * assembled once and run over many bundles (generateDeep reuses one
+ * assembly per level pair); each run() replaces the report.
+ */
+class PassManager
+{
+  public:
+    PassManager() = default;
+    PassManager(PassManager &&) = default;
+    PassManager &operator=(PassManager &&) = default;
+
+    PassManager &add(std::unique_ptr<Pass> pass);
+
+    /** Run the fsm/lint structural rules over every machine in play
+     *  after each pass; a finding stops the pipeline. */
+    void setLintGates(bool on) { lintGates_ = on; }
+
+    /** Dump all machine tables to @p os after pass @p passName runs
+     *  (fatal() at run() time if no such pass is registered). */
+    void setDumpAfter(const std::string &passName, std::ostream *os);
+
+    /** Registered pass names, in run order. */
+    std::vector<std::string> passNames() const;
+
+    /**
+     * Run all passes over @p b. Returns true if every pass ran and
+     * every gate (if enabled) was clean; false if a lint gate found
+     * issues (the report's last entry names the offending pass and
+     * carries its findings; later passes do not run).
+     */
+    bool run(ProtocolBundle &b);
+
+    /** Instrumentation for the most recent run(). */
+    const std::vector<PassRunStats> &report() const { return report_; }
+
+    /** Machine-readable per-pass report of the most recent run(). */
+    std::string statsJson(const ProtocolBundle &b) const;
+
+    /** Human-readable per-pass stats table of the most recent run(). */
+    std::string statsTable() const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+    bool lintGates_ = false;
+    std::string dumpAfter_;
+    std::ostream *dumpOs_ = nullptr;
+    std::vector<PassRunStats> report_;
+};
+
+} // namespace hieragen::pipeline
+
+#endif // HIERAGEN_PIPELINE_PIPELINE_HH

@@ -840,4 +840,72 @@ mergeEquivalentStates(Machine &m)
     return merged;
 }
 
+namespace
+{
+
+/** States reachable from initial() through the transition graph. */
+std::vector<bool>
+reachableStates(const Machine &m)
+{
+    std::vector<bool> seen(m.numStates(), false);
+    if (m.initial() == kNoState)
+        return seen;
+
+    std::vector<std::vector<StateId>> succ(m.numStates());
+    for (const auto &[key, alts] : m.table()) {
+        for (const auto &t : alts)
+            succ[key.first].push_back(
+                t.next == kNoState ? key.first : t.next);
+    }
+
+    std::vector<StateId> work{m.initial()};
+    seen[m.initial()] = true;
+    while (!work.empty()) {
+        StateId s = work.back();
+        work.pop_back();
+        for (StateId n : succ[s]) {
+            if (!seen[n]) {
+                seen[n] = true;
+                work.push_back(n);
+            }
+        }
+    }
+    return seen;
+}
+
+} // namespace
+
+size_t
+countUnreachableRows(const Machine &m)
+{
+    std::vector<bool> seen = reachableStates(m);
+    if (m.initial() == kNoState)
+        return 0;
+    size_t rows = 0;
+    for (const auto &[key, alts] : m.table()) {
+        if (!seen[key.first])
+            ++rows;
+    }
+    return rows;
+}
+
+size_t
+pruneUnreachableRows(Machine &m)
+{
+    std::vector<bool> seen = reachableStates(m);
+    if (m.initial() == kNoState)
+        return 0;
+    size_t rows = 0;
+    auto &table = m.tableMutable();
+    for (auto it = table.begin(); it != table.end();) {
+        if (!seen[it->first.first]) {
+            ++rows;
+            it = table.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return rows;
+}
+
 } // namespace hieragen::protogen

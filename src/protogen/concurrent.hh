@@ -80,6 +80,22 @@ void concurrentizeCache(Machine &cache, const MsgTypeTable &msgs,
 /** Merge behaviorally equivalent transient states. Returns merges. */
 size_t mergeEquivalentStates(Machine &m);
 
+/**
+ * Count transition rows (state/event pairs) whose source state cannot
+ * be reached from the machine's initial state through the transition
+ * graph — table entries the generator built and then abandoned (e.g.
+ * a proxy window for a composed combination no entry ever targets).
+ * This is the structural counterpart of the model checker's
+ * reachability census (Section V-E): no exploration, so it can gate
+ * every pipeline pass cheaply.
+ */
+size_t countUnreachableRows(const Machine &m);
+
+/** Erase the rows countUnreachableRows() finds. Returns rows erased.
+ *  States stay in the state vector (ids are stable), matching what
+ *  mergeEquivalentStates does with dead states. */
+size_t pruneUnreachableRows(Machine &m);
+
 } // namespace hieragen::protogen
 
 #endif // HIERAGEN_PROTOGEN_CONCURRENT_HH

@@ -18,6 +18,16 @@
  *   --verify                           model-check the result (2H+2L)
  *   --dump                             print all four FSM tables
  *   -o FILE                            write the Murphi model
+ *
+ * Pipeline introspection (see docs/PIPELINE.md):
+ *   --list-passes                      list registered passes, exit
+ *   --dump-after=PASS                  print tables after PASS runs
+ *   --check-passes                     lint-gate after every pass;
+ *                                      exit 1 naming the first pass
+ *                                      that emits a malformed machine
+ *   --pass-stats                       print the per-pass stats table
+ *   --stats-json FILE                  machine-readable per-pass
+ *                                      report (timing + size deltas)
  */
 
 #include <fstream>
@@ -25,7 +35,7 @@
 #include <sstream>
 #include <string>
 
-#include "core/hiera.hh"
+#include "core/passes.hh"
 #include "dsl/lower.hh"
 #include "fsm/printer.hh"
 #include "murphi/emit.hh"
@@ -50,6 +60,11 @@ struct Args
     bool noMerge = false;
     bool verify = false;
     bool dump = false;
+    bool listPasses = false;
+    bool checkPasses = false;
+    bool passStats = false;
+    std::string dumpAfter;
+    std::string statsJson;
 };
 
 [[noreturn]] void
@@ -62,6 +77,9 @@ usage(const char *argv0)
            "       [--mode atomic|stalling|nonstalling] "
            "[--optimized-compat]\n"
            "       [--no-merge] [--verify] [--dump] [-o FILE]\n"
+           "       [--list-passes] [--dump-after=PASS] "
+           "[--check-passes]\n"
+           "       [--pass-stats] [--stats-json FILE]\n"
            "built-in SSPs: MI MSI MESI MOSI MOESI MSI_SE\n";
     std::exit(2);
 }
@@ -105,6 +123,18 @@ parseArgs(int argc, char **argv)
             a.verify = true;
         } else if (arg == "--dump") {
             a.dump = true;
+        } else if (arg == "--list-passes") {
+            a.listPasses = true;
+        } else if (arg == "--check-passes") {
+            a.checkPasses = true;
+        } else if (arg == "--pass-stats") {
+            a.passStats = true;
+        } else if (arg == "--dump-after") {
+            a.dumpAfter = need(i);
+        } else if (arg.rfind("--dump-after=", 0) == 0) {
+            a.dumpAfter = arg.substr(std::string("--dump-after=").size());
+        } else if (arg == "--stats-json") {
+            a.statsJson = need(i);
         } else {
             usage(argv[0]);
         }
@@ -131,23 +161,68 @@ int
 main(int argc, char **argv)
 {
     Args args = parseArgs(argc, argv);
+
+    if (args.listPasses) {
+        for (const auto &info : core::listPasses()) {
+            std::cout << "  " << info.name << "\n      "
+                      << info.description << "\n";
+        }
+        return 0;
+    }
+
     try {
         Protocol lower = loadSsp(args.lower, args.lowerFile);
         Protocol higher = loadSsp(args.higher, args.higherFile);
 
+        // Option routing is pass selection: the compat flag picks the
+        // compat-* pass, the mode picks (or drops) the concurrency-*
+        // pass, --no-merge drops merge-equivalent.
         core::HierGenOptions opts;
         opts.mode = args.mode;
         opts.compose.conservativeCompat = !args.optimizedCompat;
         opts.mergeEquivalentStates = !args.noMerge;
-        core::HierGenStats stats;
-        HierProtocol p = core::generate(lower, higher, opts, &stats);
+        pipeline::PassManager pm = core::buildPipeline(opts);
+        pm.setLintGates(args.checkPasses);
+        if (!args.dumpAfter.empty())
+            pm.setDumpAfter(args.dumpAfter, &std::cout);
 
+        pipeline::ProtocolBundle b;
+        b.lower = &lower;
+        b.higher = &higher;
+        b.mode = args.mode;
+        bool clean = pm.run(b);
+
+        if (!clean) {
+            const auto &last = pm.report().back();
+            std::cerr << "pass gate failed after '" << last.pass
+                      << "':\n"
+                      << formatIssues(last.lintIssues);
+            return 1;
+        }
+        if (args.checkPasses) {
+            std::cout << "pass gates: clean ("
+                      << pm.report().size() << " passes)\n";
+        }
+
+        const HierProtocol &p = b.hier;
         std::cout << "generated " << p.name << " ("
                   << toString(p.mode) << ")\n";
         for (const Machine *m : p.machines()) {
             std::cout << "  " << m->name() << ": " << m->numStates()
                       << " states, " << m->numTransitions()
                       << " transitions\n";
+        }
+
+        if (args.passStats)
+            std::cout << pm.statsTable();
+
+        if (!args.statsJson.empty()) {
+            std::ofstream out(args.statsJson);
+            if (!out)
+                fatal("cannot write '", args.statsJson, "'");
+            out << pm.statsJson(b);
+            std::cout << "per-pass report written to "
+                      << args.statsJson << "\n";
         }
 
         if (args.dump) {

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Wall-clock timing helpers.
+ *
+ * Stopwatch wraps std::chrono::steady_clock so call sites never spell
+ * out duration casts; ScopedTimer accumulates a scope's elapsed time
+ * into a caller-owned counter (the pass pipeline's per-pass
+ * instrumentation and the benchmarks both use it).
+ */
+
+#ifndef HIERAGEN_UTIL_STOPWATCH_HH
+#define HIERAGEN_UTIL_STOPWATCH_HH
+
+#include <chrono>
+
+namespace hieragen::util
+{
+
+/** Monotonic stopwatch, running from construction or restart(). */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void restart() { start_ = Clock::now(); }
+
+    /** Elapsed time since start, in the given unit. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+    double
+    ms() const
+    {
+        return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         start_)
+            .count();
+    }
+
+    double
+    ns() const
+    {
+        return std::chrono::duration<double, std::nano>(Clock::now() -
+                                                        start_)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Adds the scope's wall time (ms) to @p out_ms on destruction. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(double &out_ms) : out_(out_ms) {}
+    ~ScopedTimer() { out_ += sw_.ms(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    double &out_;
+    Stopwatch sw_;
+};
+
+} // namespace hieragen::util
+
+#endif // HIERAGEN_UTIL_STOPWATCH_HH
