@@ -25,6 +25,8 @@
 #include <thread>
 
 #include "bench_common.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 #include "util/stopwatch.hh"
 
 using namespace hieragen;
@@ -92,7 +94,8 @@ attachUnreduced(Measurement &m, const Measurement &off)
 
 void
 writeJson(const std::vector<Measurement> &rows, unsigned threads,
-          double speedup, const std::string &path)
+          double speedup, const obs::MetricsRegistry &telemetry,
+          const std::string &path)
 {
     std::ofstream out(path);
     out << "{\n  \"bench\": \"verification\",\n";
@@ -101,6 +104,17 @@ writeJson(const std::vector<Measurement> &rows, unsigned threads,
         << std::thread::hardware_concurrency() << ",\n";
     out << "  \"msi_msi_nonstalling_2h2l_speedup\": " << std::fixed
         << std::setprecision(3) << speedup << ",\n";
+    // Telemetry snapshot of the flagship parallel run (see
+    // docs/OBSERVABILITY.md for the metric definitions).
+    out << "  \"flagship_telemetry\": {\"states_per_sec\": "
+        << std::fixed << std::setprecision(0)
+        << telemetry.gaugeValue("checker.states_per_sec")
+        << ", \"dedup_hit_rate\": " << std::setprecision(4)
+        << telemetry.gaugeValue("checker.dedup_hit_rate")
+        << ", \"sym_time_share\": "
+        << telemetry.gaugeValue("checker.sym_time_share")
+        << ", \"states_explored\": "
+        << telemetry.counterValue("checker.states_explored") << "},\n";
     out << "  \"configs\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const Measurement &m = rows[i];
@@ -364,8 +378,15 @@ main(int argc, char **argv)
     fo.symmetryReduction = symmetry;
     Measurement seq = runConfig(flagship, "MSI/MSI", "NonStalling",
                                 "2H+2L exact seq", 2, 2, fo, 1);
+    // The parallel run carries the metrics registry, so the JSON
+    // includes the live-telemetry snapshot of the flagship check.
+    obs::MetricsRegistry reg;
+    obs::Telemetry telem;
+    telem.metrics = &reg;
+    verif::CheckOptions fp = fo;
+    fp.telemetry = &telem;
     Measurement par = runConfig(flagship, "MSI/MSI", "NonStalling",
-                                "2H+2L exact par", 2, 2, fo, threads);
+                                "2H+2L exact par", 2, 2, fp, threads);
     rows.push_back(seq);
     rows.push_back(par);
     all_ok = all_ok && seq.ok && par.ok &&
@@ -377,7 +398,8 @@ main(int argc, char **argv)
               << std::setprecision(2) << speedup << "x, "
               << seq.states << " states both)\n";
 
-    writeJson(rows, threads, speedup, "BENCH_verification.json");
+    writeJson(rows, threads, speedup, reg,
+              "BENCH_verification.json");
     std::cout << "wrote BENCH_verification.json\n";
 
     std::cout << (all_ok ? "\nALL VERIFICATIONS PASS\n"

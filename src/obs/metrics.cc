@@ -1,0 +1,223 @@
+#include "obs/metrics.hh"
+
+#include <bit>
+#include <iomanip>
+#include <sstream>
+
+namespace hieragen::obs
+{
+
+size_t
+Counter::threadSlot() noexcept
+{
+    static std::atomic<size_t> next{0};
+    thread_local size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kSlots;
+    return slot;
+}
+
+namespace
+{
+
+/** Bucket index: 0 for 0, otherwise 1 + floor(log2(v)). */
+size_t
+bucketIndex(uint64_t v) noexcept
+{
+    return v == 0 ? 0 : static_cast<size_t>(std::bit_width(v));
+}
+
+/** Inclusive [lo, hi] value range a bucket covers. */
+std::pair<double, double>
+bucketRange(size_t idx) noexcept
+{
+    if (idx == 0)
+        return {0.0, 0.0};
+    double lo = static_cast<double>(1ull << (idx - 1));
+    return {lo, lo * 2.0 - 1.0};
+}
+
+} // namespace
+
+void
+Histogram::record(uint64_t v) noexcept
+{
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+uint64_t
+Histogram::min() const noexcept
+{
+    uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+}
+
+uint64_t
+Histogram::max() const noexcept
+{
+    return max_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::percentile(double p) const noexcept
+{
+    uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return static_cast<double>(min());
+    if (p >= 100.0)
+        return static_cast<double>(max());
+    // Rank of the requested sample (1-based), then walk the buckets.
+    double rank = p / 100.0 * static_cast<double>(n);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(seen + in_bucket) >= rank) {
+            auto [lo, hi] = bucketRange(i);
+            double frac = (rank - static_cast<double>(seen)) /
+                          static_cast<double>(in_bucket);
+            double est = lo + (hi - lo) * frac;
+            // Never report outside the observed value range.
+            est = std::max(est, static_cast<double>(min()));
+            est = std::min(est, static_cast<double>(max()));
+            return est;
+        }
+        seen += in_bucket;
+    }
+    return static_cast<double>(max());
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+namespace
+{
+
+void
+appendJsonKey(std::ostringstream &os, const std::string &name)
+{
+    os << "\"";
+    for (char c : name) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << "\"";
+}
+
+/** Render a double without trailing-zero noise, JSON-safe. */
+void
+appendNumber(std::ostringstream &os, double v)
+{
+    if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+        std::abs(v) < 1e15) {
+        os << static_cast<int64_t>(v);
+    } else {
+        os << std::setprecision(6) << v;
+    }
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::ostringstream os;
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "\n    " : ",\n    ");
+        appendJsonKey(os, name);
+        os << ": " << c->value();
+        first = false;
+    }
+    os << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        os << (first ? "\n    " : ",\n    ");
+        appendJsonKey(os, name);
+        os << ": ";
+        appendNumber(os, g->value());
+        first = false;
+    }
+    os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        os << (first ? "\n    " : ",\n    ");
+        appendJsonKey(os, name);
+        os << ": {\"count\": " << h->count() << ", \"sum\": "
+           << h->sum() << ", \"min\": " << h->min() << ", \"max\": "
+           << h->max() << ", \"mean\": ";
+        appendNumber(os, h->mean());
+        os << ", \"p50\": ";
+        appendNumber(os, h->percentile(50));
+        os << ", \"p90\": ";
+        appendNumber(os, h->percentile(90));
+        os << ", \"p99\": ";
+        appendNumber(os, h->percentile(99));
+        os << "}";
+        first = false;
+    }
+    os << (first ? "}" : "\n  }") << "\n}\n";
+    return os.str();
+}
+
+} // namespace hieragen::obs

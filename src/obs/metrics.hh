@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Metrics registry: counters, gauges and histograms with JSON export.
+ *
+ * Built for the model checker's hot loop: Counter is sharded across
+ * cache-line-padded per-thread slots, so concurrent add() calls from
+ * worker threads pay one uncontended relaxed atomic add and never
+ * share a cache line; the slots are only summed when a snapshot
+ * (value() / toJson()) is taken. Gauges are single atomics (set from
+ * cold paths like the progress sampler). Histograms bucket by power
+ * of two — cheap enough to record per pass or per batch, with
+ * percentile estimates interpolated inside the matching bucket.
+ *
+ * MetricsRegistry hands out stable references: instruments are never
+ * invalidated once created, so call sites look a metric up once and
+ * keep the pointer for the duration of a run.
+ */
+
+#ifndef HIERAGEN_OBS_METRICS_HH
+#define HIERAGEN_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace hieragen::obs
+{
+
+/**
+ * Monotonic counter, sharded over kSlots cache-line-padded atomic
+ * slots. Each thread hashes to one slot (a thread-local index handed
+ * out round-robin), so writers from distinct threads almost never
+ * contend. value() sums the slots; it is a racy-but-monotonic
+ * snapshot, which is all a metric needs.
+ */
+class Counter
+{
+  public:
+    static constexpr size_t kSlots = 64;
+
+    void
+    add(uint64_t n = 1) noexcept
+    {
+        slots_[threadSlot()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const noexcept
+    {
+        uint64_t sum = 0;
+        for (const Slot &s : slots_)
+            sum += s.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<uint64_t> v{0};
+    };
+
+    static size_t threadSlot() noexcept;
+
+    Slot slots_[kSlots];
+};
+
+/** Last-write-wins numeric gauge (rates, shares, occupancy). */
+class Gauge
+{
+  public:
+    void
+    set(double v) noexcept
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const noexcept
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Log2-bucketed histogram of non-negative integer samples (durations
+ * in microseconds, batch sizes, ...). Bucket k holds values in
+ * [2^(k-1), 2^k); bucket 0 holds zero. Thread-safe: every field is a
+ * relaxed atomic. percentile() interpolates linearly inside the
+ * bucket containing the requested rank, so estimates carry at most
+ * one-bucket (~2x) error — fine for the "where did the time go"
+ * questions this library answers.
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t kBuckets = 65;
+
+    void record(uint64_t v) noexcept;
+
+    uint64_t
+    count() const noexcept
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    sum() const noexcept
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t min() const noexcept;
+    uint64_t max() const noexcept;
+
+    double
+    mean() const noexcept
+    {
+        uint64_t n = count();
+        return n ? static_cast<double>(sum()) / static_cast<double>(n)
+                 : 0.0;
+    }
+
+    /** Estimate the p-th percentile (p in [0, 100]). */
+    double percentile(double p) const noexcept;
+
+  private:
+    std::atomic<uint64_t> buckets_[kBuckets] = {};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> min_{UINT64_MAX};
+    std::atomic<uint64_t> max_{0};
+};
+
+/**
+ * Named instrument store. Lookup takes a mutex (do it once per run,
+ * outside hot loops); the returned references stay valid for the
+ * registry's lifetime. toJson() renders a point-in-time snapshot of
+ * every instrument.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Value of a counter, or 0 if it was never created. */
+    uint64_t counterValue(const std::string &name) const;
+    /** Value of a gauge, or 0.0 if it was never created. */
+    double gaugeValue(const std::string &name) const;
+
+    /**
+     * Snapshot as a JSON object:
+     *   {"counters": {name: value, ...},
+     *    "gauges": {name: value, ...},
+     *    "histograms": {name: {count, sum, min, max, mean,
+     *                          p50, p90, p99}, ...}}
+     */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace hieragen::obs
+
+#endif // HIERAGEN_OBS_METRICS_HH

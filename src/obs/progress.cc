@@ -1,0 +1,223 @@
+#include "obs/progress.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace hieragen::obs
+{
+
+ProgressStats
+computeProgress(const ProgressSample &prev, const ProgressSample &cur,
+                double dt_sec, double wall_sec)
+{
+    ProgressStats d;
+    if (dt_sec > 0 && cur.statesExplored >= prev.statesExplored) {
+        d.statesPerSec =
+            static_cast<double>(cur.statesExplored -
+                                prev.statesExplored) /
+            dt_sec;
+    }
+    if (cur.statesGenerated > 0) {
+        uint64_t hits = cur.statesGenerated >= cur.visitedEntries
+                            ? cur.statesGenerated - cur.visitedEntries
+                            : 0;
+        d.dedupHitRate = static_cast<double>(hits) /
+                         static_cast<double>(cur.statesGenerated);
+    }
+    if (cur.symSampledCalls > 0 && wall_sec > 0 && cur.workers > 0) {
+        // Scale the sampled measurements up to all calls, then take
+        // the share of total worker-time.
+        double est_ns = static_cast<double>(cur.symSampledNs) *
+                        static_cast<double>(cur.symCalls) /
+                        static_cast<double>(cur.symSampledCalls);
+        d.symTimeShare =
+            est_ns / (wall_sec * 1e9 * static_cast<double>(cur.workers));
+        d.symTimeShare = std::clamp(d.symTimeShare, 0.0, 1.0);
+    }
+    if (cur.maxStates > 0 && d.statesPerSec > 0 &&
+        cur.statesExplored < cur.maxStates) {
+        d.etaSec = static_cast<double>(cur.maxStates -
+                                       cur.statesExplored) /
+                   d.statesPerSec;
+    }
+    return d;
+}
+
+std::string
+formatCount(uint64_t n)
+{
+    std::ostringstream os;
+    if (n >= 10'000'000)
+        os << std::fixed << std::setprecision(1) << (n / 1e6) << "M";
+    else if (n >= 1'000'000)
+        os << std::fixed << std::setprecision(2) << (n / 1e6) << "M";
+    else if (n >= 10'000)
+        os << std::fixed << std::setprecision(1) << (n / 1e3) << "k";
+    else
+        os << n;
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+formatDuration(double sec)
+{
+    std::ostringstream os;
+    if (sec < 0) {
+        os << "-";
+    } else if (sec < 90) {
+        os << std::fixed << std::setprecision(0) << sec << "s";
+    } else if (sec < 5400) {
+        os << std::fixed << std::setprecision(0) << sec / 60 << "m";
+    } else {
+        os << std::fixed << std::setprecision(1) << sec / 3600 << "h";
+    }
+    return os.str();
+}
+
+std::string
+formatBytes(uint64_t b)
+{
+    std::ostringstream os;
+    if (b >= 1ull << 30) {
+        os << std::fixed << std::setprecision(1)
+           << static_cast<double>(b) / (1ull << 30) << " GB";
+    } else if (b >= 1ull << 20) {
+        os << std::fixed << std::setprecision(0)
+           << static_cast<double>(b) / (1ull << 20) << " MB";
+    } else {
+        os << std::fixed << std::setprecision(0)
+           << static_cast<double>(b) / 1024.0 << " kB";
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+formatHeartbeat(const ProgressSample &s, const ProgressStats &d)
+{
+    std::ostringstream os;
+    os << formatCount(s.statesExplored) << " states ("
+       << formatCount(static_cast<uint64_t>(d.statesPerSec)) << "/s)"
+       << ", queue " << formatCount(s.queueDepth) << ", dedup "
+       << std::fixed << std::setprecision(1) << d.dedupHitRate * 100
+       << "%";
+    if (s.shardCount > 0)
+        os << ", shards " << s.shardsOccupied << "/" << s.shardCount;
+    if (s.symCalls > 0)
+        os << ", sym " << std::setprecision(1) << d.symTimeShare * 100
+           << "%";
+    if (s.estMemoryBytes > 0)
+        os << ", ~" << formatBytes(s.estMemoryBytes);
+    if (s.maxStates > 0) {
+        os << ", ETA " << formatDuration(d.etaSec) << " (cap "
+           << formatCount(s.maxStates) << ")";
+    }
+    return os.str();
+}
+
+void
+ProgressReporter::start(double interval_sec, SampleFn fn,
+                        MetricsRegistry *metrics, TraceWriter *trace,
+                        bool quiet)
+{
+    HG_ASSERT(!thread_.joinable(), "progress reporter already running");
+    HG_ASSERT(interval_sec > 0, "progress interval must be positive");
+    intervalSec_ = interval_sec;
+    fn_ = std::move(fn);
+    metrics_ = metrics;
+    trace_ = trace;
+    quiet_ = quiet;
+    stopping_ = false;
+    beats_.store(0);
+    prev_ = ProgressSample{};
+    startTime_ = prevTime_ = std::chrono::steady_clock::now();
+    if (trace_)
+        trace_->setThreadName(kProgressTid, "progress");
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+ProgressReporter::stop()
+{
+    if (!thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    beat();  // final sample so short runs report at least once
+}
+
+void
+ProgressReporter::loop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cv_.wait_for(lk,
+                     std::chrono::duration<double>(intervalSec_),
+                     [this] { return stopping_; });
+        if (stopping_)
+            return;
+        lk.unlock();
+        beat();
+        lk.lock();
+    }
+}
+
+void
+ProgressReporter::beat()
+{
+    auto now = std::chrono::steady_clock::now();
+    double dt = std::chrono::duration<double>(now - prevTime_).count();
+    double wall =
+        std::chrono::duration<double>(now - startTime_).count();
+    ProgressSample cur = fn_();
+    ProgressStats d = computeProgress(prev_, cur, dt, wall);
+
+    if (!quiet_)
+        statusLine("progress", formatHeartbeat(cur, d));
+
+    if (metrics_) {
+        metrics_->gauge("progress.states_per_sec").set(d.statesPerSec);
+        metrics_->gauge("progress.dedup_hit_rate").set(d.dedupHitRate);
+        metrics_->gauge("progress.sym_time_share").set(d.symTimeShare);
+        metrics_->gauge("progress.queue_depth")
+            .set(static_cast<double>(cur.queueDepth));
+        metrics_->gauge("progress.est_memory_bytes")
+            .set(static_cast<double>(cur.estMemoryBytes));
+        metrics_->gauge("progress.eta_sec").set(d.etaSec);
+        metrics_->counter("progress.heartbeats").add(1);
+    }
+    if (trace_) {
+        uint64_t ts = trace_->nowUs();
+        trace_->counterEvent(
+            "exploration", kProgressTid, ts,
+            {{"states_per_sec", d.statesPerSec},
+             {"queue_depth", static_cast<double>(cur.queueDepth)},
+             {"states_explored",
+              static_cast<double>(cur.statesExplored)}});
+        trace_->counterEvent(
+            "exploration_shares", kProgressTid, ts,
+            {{"dedup_hit_pct", d.dedupHitRate * 100},
+             {"sym_time_pct", d.symTimeShare * 100}});
+        trace_->counterEvent(
+            "memory", kProgressTid, ts,
+            {{"est_bytes", static_cast<double>(cur.estMemoryBytes)}});
+    }
+
+    prev_ = cur;
+    prevTime_ = now;
+    beats_.fetch_add(1);
+}
+
+} // namespace hieragen::obs

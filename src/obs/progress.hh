@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Live progress heartbeat for long-running exploration.
+ *
+ * A ProgressReporter owns one sampler thread that wakes on a
+ * configurable interval, pulls a ProgressSample from the instrumented
+ * engine (a callback reading that engine's live atomics — the engine
+ * itself never blocks on the sampler), derives rates/shares/ETA with
+ * computeProgress(), and fans the heartbeat out to three sinks: a
+ * human-readable status line through the thread-safe log sink,
+ * counter events on the trace writer's progress track, and gauges in
+ * the metrics registry. stop() joins the thread after one final
+ * sample, so short runs still report at least once.
+ */
+
+#ifndef HIERAGEN_OBS_PROGRESS_HH
+#define HIERAGEN_OBS_PROGRESS_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace hieragen::obs
+{
+
+/** Point-in-time reading of an engine's live instrumentation. */
+struct ProgressSample
+{
+    uint64_t statesExplored = 0;
+    uint64_t statesGenerated = 0;
+    uint64_t transitionsFired = 0;
+    uint64_t queueDepth = 0;       ///< frontier awaiting expansion
+    uint64_t visitedEntries = 0;   ///< states accepted into the set
+    uint64_t shardsOccupied = 0;   ///< visited shards holding >= 1
+    uint64_t shardCount = 0;       ///< 0 for the unsharded engine
+    uint64_t estMemoryBytes = 0;
+    uint64_t symSampledNs = 0;     ///< measured ns on sampled calls
+    uint64_t symSampledCalls = 0;  ///< how many calls were timed
+    uint64_t symCalls = 0;         ///< total canonicalizations
+    uint64_t maxStates = 0;        ///< exploration cap (0 = none)
+    unsigned workers = 1;
+};
+
+/** Derived rates — pure math over two samples, unit-testable. */
+struct ProgressStats
+{
+    double statesPerSec = 0.0;  ///< over the sampling interval
+    double dedupHitRate = 0.0;  ///< cumulative, of generated states
+    double symTimeShare = 0.0;  ///< of total worker time, estimated
+    double etaSec = -1.0;       ///< to maxStates at current rate
+};
+
+/**
+ * Derive interval rates and cumulative shares. @p dt_sec is the time
+ * between @p prev and @p cur; @p wall_sec the time since exploration
+ * began (the denominator of symTimeShare, scaled by cur.workers).
+ */
+ProgressStats computeProgress(const ProgressSample &prev,
+                              const ProgressSample &cur, double dt_sec,
+                              double wall_sec);
+
+/** Render one heartbeat line ("1.2M states (40.1k/s), ..."). */
+std::string formatHeartbeat(const ProgressSample &s,
+                            const ProgressStats &d);
+
+/** Human-scale count: 1234567 -> "1.2M". */
+std::string formatCount(uint64_t n);
+
+class ProgressReporter
+{
+  public:
+    using SampleFn = std::function<ProgressSample()>;
+
+    ProgressReporter() = default;
+    ~ProgressReporter() { stop(); }
+
+    ProgressReporter(const ProgressReporter &) = delete;
+    ProgressReporter &operator=(const ProgressReporter &) = delete;
+
+    /**
+     * Launch the sampler thread. @p interval_sec must be > 0;
+     * @p metrics and @p trace may be null (that sink is skipped).
+     * @p quiet suppresses the status line (metrics/trace still fed).
+     */
+    void start(double interval_sec, SampleFn fn,
+               MetricsRegistry *metrics = nullptr,
+               TraceWriter *trace = nullptr, bool quiet = false);
+
+    /** Final sample, then join. Safe to call twice or without start. */
+    void stop();
+
+    bool running() const { return thread_.joinable(); }
+
+    /** Heartbeats emitted so far (including the final one). */
+    uint64_t beats() const { return beats_.load(); }
+
+  private:
+    void loop();
+    void beat();
+
+    double intervalSec_ = 1.0;
+    SampleFn fn_;
+    MetricsRegistry *metrics_ = nullptr;
+    TraceWriter *trace_ = nullptr;
+    bool quiet_ = false;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::thread thread_;
+
+    std::atomic<uint64_t> beats_{0};
+    ProgressSample prev_;
+    std::chrono::steady_clock::time_point startTime_;
+    std::chrono::steady_clock::time_point prevTime_;
+};
+
+} // namespace hieragen::obs
+
+#endif // HIERAGEN_OBS_PROGRESS_HH

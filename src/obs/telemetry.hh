@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The wiring bundle instrumented subsystems accept.
+ *
+ * A Telemetry is a non-owning view of the sinks a caller wants fed:
+ * a metrics registry, a trace writer, and/or a progress heartbeat
+ * interval. Subsystems (verif::CheckOptions, pipeline::PassManager,
+ * sim::SimConfig) take a `Telemetry *`; null means observability is
+ * fully disabled and every instrumented hot path reduces to one
+ * predictable branch. The CLI assembles one Telemetry for
+ * --progress / --trace-out / --metrics-json and shares it across the
+ * whole run so all spans land on a single timeline.
+ */
+
+#ifndef HIERAGEN_OBS_TELEMETRY_HH
+#define HIERAGEN_OBS_TELEMETRY_HH
+
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/trace.hh"
+
+namespace hieragen::obs
+{
+
+struct Telemetry
+{
+    MetricsRegistry *metrics = nullptr;
+    TraceWriter *trace = nullptr;
+
+    /** Heartbeat interval in seconds; 0 disables the sampler. */
+    double progressIntervalSec = 0.0;
+
+    /** Suppress heartbeat status lines (sinks still fed). */
+    bool quietProgress = false;
+
+    bool
+    wantsProgress() const
+    {
+        return progressIntervalSec > 0.0;
+    }
+};
+
+} // namespace hieragen::obs
+
+#endif // HIERAGEN_OBS_TELEMETRY_HH

@@ -5,6 +5,9 @@
 #include <sstream>
 
 #include "fsm/printer.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/stopwatch.hh"
 
@@ -108,12 +111,19 @@ PassManager::run(ProtocolBundle &b)
         }
     }
 
+    obs::TraceWriter *tw = telemetry_ ? telemetry_->trace : nullptr;
+    obs::MetricsRegistry *reg =
+        telemetry_ ? telemetry_->metrics : nullptr;
+    if (tw)
+        tw->setThreadName(obs::kPipelineTid, "pass pipeline");
+
     report_.clear();
     for (const auto &pass : passes_) {
         PassRunStats st;
         st.pass = pass->name();
 
         std::vector<Snapshot> before = snapshot(b);
+        uint64_t span_start = tw ? tw->nowUs() : 0;
         {
             util::ScopedTimer timer(st.ms);
             pass->run(b);
@@ -153,12 +163,30 @@ PassManager::run(ProtocolBundle &b)
                 st.lintIssues.insert(st.lintIssues.end(),
                                      issues.begin(), issues.end());
             }
+        }
+
+        if (tw) {
+            tw->completeEvent(
+                st.pass, obs::kPipelineTid, span_start,
+                static_cast<uint64_t>(st.ms * 1000.0),
+                {{"gated", st.gated ? "true" : "false"},
+                 {"lint_issues",
+                  std::to_string(st.lintIssues.size())}});
+        }
+        if (reg) {
+            reg->counter("pipeline.passes_run").add(1);
+            reg->histogram("pipeline.pass_us")
+                .record(static_cast<uint64_t>(st.ms * 1000.0));
             if (!st.lintIssues.empty()) {
-                report_.push_back(std::move(st));
-                return false;
+                reg->counter("pipeline.lint_issues")
+                    .add(st.lintIssues.size());
             }
         }
+
+        bool gate_tripped = lintGates_ && !st.lintIssues.empty();
         report_.push_back(std::move(st));
+        if (gate_tripped)
+            return false;
     }
     return true;
 }

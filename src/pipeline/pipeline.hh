@@ -27,6 +27,11 @@
 #include "fsm/protocol.hh"
 #include "protogen/concurrent.hh"
 
+namespace hieragen::obs
+{
+struct Telemetry;
+}
+
 namespace hieragen::pipeline
 {
 
@@ -147,6 +152,19 @@ class PassManager
      *  (fatal() at run() time if no such pass is registered). */
     void setDumpAfter(const std::string &passName, std::ostream *os);
 
+    /**
+     * Observability sinks (non-owning; null disables). When set,
+     * every pass run emits one complete span on the pipeline trace
+     * track (kPipelineTid) carrying the pass name and lint-issue
+     * count, and publishes pipeline.passes_run / pipeline.lint_issues
+     * counters plus a pipeline.pass_us duration histogram to the
+     * metrics registry. See docs/OBSERVABILITY.md.
+     */
+    void setTelemetry(obs::Telemetry *telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
     /** Registered pass names, in run order. */
     std::vector<std::string> passNames() const;
 
@@ -172,6 +190,7 @@ class PassManager
     bool lintGates_ = false;
     std::string dumpAfter_;
     std::ostream *dumpOs_ = nullptr;
+    obs::Telemetry *telemetry_ = nullptr;
     std::vector<PassRunStats> report_;
 };
 

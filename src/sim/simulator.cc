@@ -3,6 +3,9 @@
 #include <deque>
 #include <sstream>
 
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace hieragen::sim
@@ -77,15 +80,42 @@ class Engine : public hieragen::ExecEnv
     SimStats
     run()
     {
+        obs::TraceWriter *tw =
+            cfg_.telemetry ? cfg_.telemetry->trace : nullptr;
+        if (tw)
+            tw->setThreadName(obs::kSimTid, "simulator");
+        uint64_t span_start = tw ? tw->nowUs() : 0;
+
         for (now_ = 0; now_ < cfg_.maxCycles; ++now_) {
             deliverReady();
             if (stats_.protocolError)
                 break;
             issueAccesses();
+            if (tw && (now_ & 1023) == 0)
+                sampleCounters(*tw);
             if (scripted_ && scriptDone_ && idle())
                 break;
         }
         stats_.cycles = now_;
+
+        if (tw) {
+            sampleCounters(*tw);
+            tw->completeEvent(
+                "simulate", obs::kSimTid, span_start,
+                tw->nowUs() - span_start,
+                {{"cycles", std::to_string(stats_.cycles)},
+                 {"accesses", std::to_string(stats_.accesses)},
+                 {"messages", std::to_string(stats_.messages)}});
+        }
+        if (auto *reg =
+                cfg_.telemetry ? cfg_.telemetry->metrics : nullptr) {
+            reg->counter("sim.cycles").add(stats_.cycles);
+            reg->counter("sim.accesses").add(stats_.accesses);
+            reg->counter("sim.hits").add(stats_.hits);
+            reg->counter("sim.misses").add(stats_.misses);
+            reg->counter("sim.messages").add(stats_.messages);
+            reg->counter("sim.stall_retries").add(stats_.stallRetries);
+        }
         return stats_;
     }
 
@@ -135,6 +165,17 @@ class Engine : public hieragen::ExecEnv
     }
 
   private:
+    void
+    sampleCounters(obs::TraceWriter &tw)
+    {
+        tw.counterEvent(
+            "sim_activity", obs::kSimTid, tw.nowUs(),
+            {{"accesses", static_cast<double>(stats_.accesses)},
+             {"messages", static_cast<double>(stats_.messages)},
+             {"stall_retries",
+              static_cast<double>(stats_.stallRetries)}});
+    }
+
     const MsgTypeTable &msgs_;
     std::vector<NodeCtx> nodes_;
     std::vector<std::string> names_;

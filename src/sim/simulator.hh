@@ -21,6 +21,11 @@
 #include "fsm/protocol.hh"
 #include "sim/workload.hh"
 
+namespace hieragen::obs
+{
+struct Telemetry;
+}
+
 namespace hieragen::sim
 {
 
@@ -36,6 +41,15 @@ struct SimConfig
     uint64_t seed = 1;
     Pattern pattern = Pattern::UniformRandom;
     int storePct = 30;
+
+    /**
+     * Observability sinks (non-owning; null disables). When set, the
+     * engine emits periodic counter samples (accesses, messages,
+     * stall retries) on the simulator trace track (kSimTid) and
+     * publishes final sim.* counters to the metrics registry. See
+     * docs/OBSERVABILITY.md.
+     */
+    obs::Telemetry *telemetry = nullptr;
 };
 
 struct SimStats

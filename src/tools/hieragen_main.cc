@@ -28,8 +28,17 @@
  *   --pass-stats                       print the per-pass stats table
  *   --stats-json FILE                  machine-readable per-pass
  *                                      report (timing + size deltas)
+ *
+ * Telemetry (see docs/OBSERVABILITY.md):
+ *   --progress[=SECS]                  heartbeat checker progress
+ *                                      (states, rate, ETA) every SECS
+ *                                      seconds (default 2)
+ *   --trace-out FILE                   Chrome trace-event JSON of the
+ *                                      run (open in ui.perfetto.dev)
+ *   --metrics-json FILE                final metrics registry snapshot
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -39,6 +48,9 @@
 #include "dsl/lower.hh"
 #include "fsm/printer.hh"
 #include "murphi/emit.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "protocols/registry.hh"
 #include "util/logging.hh"
 #include "verif/checker.hh"
@@ -65,6 +77,9 @@ struct Args
     bool passStats = false;
     std::string dumpAfter;
     std::string statsJson;
+    double progressSec = 0.0;  ///< 0 = no heartbeat
+    std::string traceOut;
+    std::string metricsJson;
 };
 
 [[noreturn]] void
@@ -80,6 +95,8 @@ usage(const char *argv0)
            "       [--list-passes] [--dump-after=PASS] "
            "[--check-passes]\n"
            "       [--pass-stats] [--stats-json FILE]\n"
+           "       [--progress[=SECS]] [--trace-out FILE] "
+           "[--metrics-json FILE]\n"
            "built-in SSPs: MI MSI MESI MOSI MOESI MSI_SE\n";
     std::exit(2);
 }
@@ -135,6 +152,18 @@ parseArgs(int argc, char **argv)
             a.dumpAfter = arg.substr(std::string("--dump-after=").size());
         } else if (arg == "--stats-json") {
             a.statsJson = need(i);
+        } else if (arg == "--progress") {
+            a.progressSec = 2.0;
+        } else if (arg.rfind("--progress=", 0) == 0) {
+            std::string v =
+                arg.substr(std::string("--progress=").size());
+            a.progressSec = std::atof(v.c_str());
+            if (a.progressSec <= 0.0)
+                usage(argv[0]);
+        } else if (arg == "--trace-out") {
+            a.traceOut = need(i);
+        } else if (arg == "--metrics-json") {
+            a.metricsJson = need(i);
         } else {
             usage(argv[0]);
         }
@@ -170,6 +199,21 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // One telemetry bundle shared by the pass pipeline and the
+    // checker, so all spans land on a single timeline.
+    bool wantTelemetry = args.progressSec > 0.0 ||
+                         !args.traceOut.empty() ||
+                         !args.metricsJson.empty();
+    obs::MetricsRegistry metrics;
+    obs::TraceWriter trace;
+    obs::Telemetry telem;
+    if (wantTelemetry) {
+        telem.metrics = &metrics;
+        if (!args.traceOut.empty())
+            telem.trace = &trace;
+        telem.progressIntervalSec = args.progressSec;
+    }
+
     try {
         Protocol lower = loadSsp(args.lower, args.lowerFile);
         Protocol higher = loadSsp(args.higher, args.higherFile);
@@ -183,6 +227,8 @@ main(int argc, char **argv)
         opts.mergeEquivalentStates = !args.noMerge;
         pipeline::PassManager pm = core::buildPipeline(opts);
         pm.setLintGates(args.checkPasses);
+        if (wantTelemetry)
+            pm.setTelemetry(&telem);
         if (!args.dumpAfter.empty())
             pm.setDumpAfter(args.dumpAfter, &std::cout);
 
@@ -230,17 +276,40 @@ main(int argc, char **argv)
                 printMachine(std::cout, p.msgs, *m);
         }
 
+        int exit_code = 0;
         if (args.verify) {
             verif::CheckOptions vo;
             vo.accessBudget = 2;
+            if (wantTelemetry)
+                vo.telemetry = &telem;
             auto r = verif::checkHier(p, 2, 2, vo);
             std::cout << "verification: " << r.summary() << "\n";
             if (!r.ok) {
                 for (const auto &line : r.trace)
                     std::cout << "  " << line << "\n";
-                return 1;
+                exit_code = 1;
             }
         }
+
+        if (!args.traceOut.empty()) {
+            std::ofstream out(args.traceOut);
+            if (!out)
+                fatal("cannot write '", args.traceOut, "'");
+            trace.writeJson(out);
+            std::cout << "trace written to " << args.traceOut
+                      << " (" << trace.eventCount()
+                      << " events; open in ui.perfetto.dev)\n";
+        }
+        if (!args.metricsJson.empty()) {
+            std::ofstream out(args.metricsJson);
+            if (!out)
+                fatal("cannot write '", args.metricsJson, "'");
+            out << metrics.toJson();
+            std::cout << "metrics written to " << args.metricsJson
+                      << "\n";
+        }
+        if (exit_code != 0)
+            return exit_code;
 
         if (!args.output.empty()) {
             std::ofstream out(args.output);

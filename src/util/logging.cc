@@ -1,26 +1,87 @@
 #include "util/logging.hh"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
+#include <mutex>
 
 namespace hieragen
 {
 
 namespace
 {
-LogLevel globalLevel = LogLevel::Warn;
+
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+std::atomic<bool> globalTimestamps{false};
+
+/** Serializes every line written to the log sink. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::string
+timestampPrefix()
+{
+    using namespace std::chrono;
+    auto now = system_clock::now();
+    std::time_t secs = system_clock::to_time_t(now);
+    auto ms =
+        duration_cast<milliseconds>(now.time_since_epoch()).count() %
+        1000;
+    std::tm tm{};
+    localtime_r(&secs, &tm);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d ",
+                  tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  static_cast<int>(ms));
+    return buf;
+}
+
+/** Compose the full line, then emit it under the sink mutex. */
+void
+writeLine(const std::string &tag, const std::string &msg)
+{
+    std::string line;
+    if (globalTimestamps.load(std::memory_order_relaxed))
+        line += timestampPrefix();
+    line += tag;
+    line += ": ";
+    line += msg;
+    line += "\n";
+    std::lock_guard<std::mutex> lk(sinkMutex());
+    std::cerr << line;
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+void
+setLogTimestamps(bool on)
+{
+    globalTimestamps.store(on, std::memory_order_relaxed);
+}
+
+void
+statusLine(const std::string &tag, const std::string &msg)
+{
+    writeLine(tag, msg);
 }
 
 namespace detail
@@ -29,9 +90,10 @@ namespace detail
 void
 logLine(LogLevel level, const std::string &tag, const std::string &msg)
 {
-    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+    if (static_cast<int>(level) >
+        static_cast<int>(globalLevel.load(std::memory_order_relaxed)))
         return;
-    std::cerr << tag << ": " << msg << "\n";
+    writeLine(tag, msg);
 }
 
 } // namespace detail
@@ -39,7 +101,11 @@ logLine(LogLevel level, const std::string &tag, const std::string &msg)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    {
+        std::lock_guard<std::mutex> lk(sinkMutex());
+        std::cerr << "panic: " << msg << " (" << file << ":" << line
+                  << ")\n";
+    }
     std::abort();
 }
 

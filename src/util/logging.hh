@@ -36,9 +36,28 @@ void setLogLevel(LogLevel level);
 /** Query the global log level. */
 LogLevel logLevel();
 
+/** Prefix every log line with a wall-clock HH:MM:SS.mmm timestamp
+ *  (default: off). Useful when correlating heartbeat lines with an
+ *  exported trace. */
+void setLogTimestamps(bool on);
+
+/**
+ * Level-independent status output (progress heartbeats, phase
+ * banners): always printed, through the same mutexed sink as the
+ * levelled helpers, so concurrent writers never interleave bytes
+ * within a line.
+ */
+void statusLine(const std::string &tag, const std::string &msg);
+
 namespace detail
 {
 
+/**
+ * The single serialized sink every log path funnels through. The
+ * whole line (tag, optional timestamp, message, newline) is composed
+ * first and written under one mutex, so lines from parallel-checker
+ * workers and the progress sampler come out atomically.
+ */
 void logLine(LogLevel level, const std::string &tag, const std::string &msg);
 
 template <typename... Args>

@@ -1,5 +1,6 @@
 #include "verif/checker.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -11,7 +12,9 @@
 #include <unordered_set>
 
 #include "fsm/printer.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
+#include "util/stopwatch.hh"
 
 namespace hieragen::verif
 {
@@ -33,6 +36,23 @@ CheckResult::summary() const
     }
     os << " [sym " << (symmetryReduction ? "on" : "off")
        << ", compaction " << (hashCompaction ? "on" : "off") << "]";
+    return os.str();
+}
+
+std::string
+CheckResult::traceJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"ok\": " << (ok ? "true" : "false")
+       << ",\n  \"error_kind\": " << obs::jsonQuote(errorKind)
+       << ",\n  \"detail\": " << obs::jsonQuote(detail)
+       << ",\n  \"states_explored\": " << statesExplored
+       << ",\n  \"transitions_fired\": " << transitionsFired
+       << ",\n  \"symmetry_reduction\": "
+       << (symmetryReduction ? "true" : "false") << ",\n  \"steps\": [";
+    for (size_t i = 0; i < traceStepsJson.size(); ++i)
+        os << (i ? ",\n    " : "\n    ") << traceStepsJson[i];
+    os << (traceStepsJson.empty() ? "]" : "\n  ]") << "\n}\n";
     return os.str();
 }
 
@@ -110,6 +130,273 @@ struct Violation
 };
 
 /**
+ * Live instrumentation shared by one engine run and the progress
+ * sampler thread. With telemetry off (telem_ == nullptr) every hook
+ * sits behind on(), so the hot loop pays one predictable branch;
+ * with telemetry on each event costs a relaxed add on a sharded
+ * Counter or an uncontended atomic. Canonicalization cost is
+ * *sampled* (one timed call in 64) so the clock is off the common
+ * path; the share is scaled back up in computeProgress()/finalize().
+ *
+ * When the caller supplied no registry but wants a heartbeat, hot
+ * counters land in a run-local registry so the sampler still has
+ * data; finalize() only publishes to a caller-supplied registry.
+ */
+class Instr
+{
+  public:
+    Instr(const CheckOptions &opts, unsigned workers, bool tracing)
+        : telem_(opts.telemetry), workers_(workers),
+          tracing_(tracing), maxStates_(opts.maxStates)
+    {
+        if (!telem_)
+            return;
+        reg_ = telem_->metrics ? telem_->metrics : &localReg_;
+        dedupHits_ = &reg_->counter("checker.dedup_hits");
+        encBytes_ = &reg_->counter("checker.visited_bytes");
+        symCalls_ = &reg_->counter("checker.sym_canonicalizations");
+        symSampledNs_ = &reg_->counter("checker.sym_sampled_ns");
+        symSampledCalls_ =
+            &reg_->counter("checker.sym_sampled_calls");
+    }
+
+    bool on() const { return telem_ != nullptr; }
+
+    obs::TraceWriter *
+    trace() const
+    {
+        return telem_ ? telem_->trace : nullptr;
+    }
+
+    // --- Hot-path hooks; call only when on(). ---
+    void
+    noteExplored()
+    {
+        explored_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    noteGenerated()
+    {
+        generated_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    noteFired()
+    {
+        fired_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void noteDedupHit() { dedupHits_->add(1); }
+
+    void
+    noteAccepted(size_t enc_bytes)
+    {
+        visited_.fetch_add(1, std::memory_order_relaxed);
+        encBytes_->add(enc_bytes);
+    }
+
+    void noteSymCall() { symCalls_->add(1); }
+
+    void
+    noteSymSample(uint64_t ns)
+    {
+        symSampledNs_->add(ns);
+        symSampledCalls_->add(1);
+    }
+
+    /** True on the calls whose canonicalization should be timed. */
+    static bool
+    sampleTick(unsigned &tick)
+    {
+        return (tick++ & 63) == 0;
+    }
+
+    void
+    queuePush()
+    {
+        queueDepth_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    queuePop()
+    {
+        queueDepth_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    void
+    setQueueDepth(uint64_t d)
+    {
+        queueDepth_.store(d, std::memory_order_relaxed);
+    }
+
+    // --- Sampler side. ---
+
+    /** Common sample fields; engines overwrite their own counters. */
+    obs::ProgressSample
+    baseSample() const
+    {
+        obs::ProgressSample s;
+        s.statesExplored = explored_.load(std::memory_order_relaxed);
+        s.statesGenerated =
+            generated_.load(std::memory_order_relaxed);
+        s.transitionsFired = fired_.load(std::memory_order_relaxed);
+        s.queueDepth = queueDepth_.load(std::memory_order_relaxed);
+        s.visitedEntries = visited_.load(std::memory_order_relaxed);
+        s.estMemoryBytes = estMemoryBytes(s.queueDepth);
+        s.symSampledNs = symSampledNs_->value();
+        s.symSampledCalls = symSampledCalls_->value();
+        s.symCalls = symCalls_->value();
+        s.maxStates = maxStates_;
+        s.workers = workers_;
+        return s;
+    }
+
+    /**
+     * Rough resident-memory estimate: visited-set encodings plus
+     * per-entry container overhead, decoded frontier states (several
+     * times their encoding), and — in tracing mode — the trace
+     * arena/frontier, which keeps every accepted state resident.
+     */
+    uint64_t
+    estMemoryBytes(uint64_t queue_depth) const
+    {
+        uint64_t v = visited_.load(std::memory_order_relaxed);
+        uint64_t enc = encBytes_->value();
+        uint64_t avg_state = (v ? enc / v : 0) * 3 + 96;
+        uint64_t est = enc + v * 64 + queue_depth * avg_state;
+        if (tracing_)
+            est += v * avg_state;
+        return est;
+    }
+
+    void
+    startProgress(obs::ProgressReporter::SampleFn fn)
+    {
+        if (telem_ && telem_->wantsProgress()) {
+            reporter_.start(telem_->progressIntervalSec,
+                            std::move(fn), reg_, trace(),
+                            telem_->quietProgress);
+        }
+    }
+
+    void stopProgress() { reporter_.stop(); }
+
+    /** Publish final totals to the caller's registry. */
+    void
+    finalize(const CheckResult &r, double wall_ms)
+    {
+        stopProgress();
+        if (!telem_ || !telem_->metrics)
+            return;
+        obs::MetricsRegistry &m = *telem_->metrics;
+        m.counter("checker.states_explored").add(r.statesExplored);
+        m.counter("checker.states_generated").add(r.statesGenerated);
+        m.counter("checker.transitions_fired")
+            .add(r.transitionsFired);
+        m.counter("checker.visited_entries")
+            .add(visited_.load(std::memory_order_relaxed));
+        m.gauge("checker.wall_ms").set(wall_ms);
+        m.gauge("checker.states_per_sec")
+            .set(wall_ms > 0 ? static_cast<double>(r.statesExplored) *
+                                   1e3 / wall_ms
+                             : 0.0);
+        m.gauge("checker.workers").set(workers_);
+        uint64_t gen = r.statesGenerated;
+        m.gauge("checker.dedup_hit_rate")
+            .set(gen ? static_cast<double>(dedupHits_->value()) /
+                           static_cast<double>(gen)
+                     : 0.0);
+        uint64_t sampled = symSampledCalls_->value();
+        if (sampled > 0 && wall_ms > 0) {
+            double est_ns =
+                static_cast<double>(symSampledNs_->value()) *
+                static_cast<double>(symCalls_->value()) /
+                static_cast<double>(sampled);
+            m.gauge("checker.sym_time_share")
+                .set(std::clamp(est_ns / (wall_ms * 1e6 *
+                                          static_cast<double>(
+                                              workers_)),
+                                0.0, 1.0));
+        }
+    }
+
+  private:
+    obs::Telemetry *telem_ = nullptr;
+    const unsigned workers_;
+    const bool tracing_;
+    const uint64_t maxStates_;
+
+    obs::MetricsRegistry localReg_;  ///< fallback when no registry
+    obs::MetricsRegistry *reg_ = nullptr;
+    obs::Counter *dedupHits_ = nullptr;
+    obs::Counter *encBytes_ = nullptr;
+    obs::Counter *symCalls_ = nullptr;
+    obs::Counter *symSampledNs_ = nullptr;
+    obs::Counter *symSampledCalls_ = nullptr;
+
+    std::atomic<uint64_t> explored_{0};
+    std::atomic<uint64_t> generated_{0};
+    std::atomic<uint64_t> fired_{0};
+    std::atomic<uint64_t> visited_{0};
+    std::atomic<uint64_t> queueDepth_{0};
+
+    obs::ProgressReporter reporter_;
+};
+
+/**
+ * Coalesces per-state expansion work into chunky "expand" spans on
+ * one worker's trace track, so a multi-minute run stays a few
+ * thousand events instead of one per state. Null writer disables.
+ */
+class SpanChunker
+{
+  public:
+    SpanChunker(obs::TraceWriter *w, uint32_t tid) : w_(w), tid_(tid)
+    {
+        if (w_)
+            startUs_ = w_->nowUs();
+    }
+
+    ~SpanChunker() { flush(); }
+
+    void
+    bump(uint64_t states = 1)
+    {
+        if (!w_)
+            return;
+        states_ += states;
+        uint64_t now = w_->nowUs();
+        if (now - startUs_ >= kChunkUs)
+            flushAt(now);
+    }
+
+    void
+    flush()
+    {
+        if (w_ && states_ > 0)
+            flushAt(w_->nowUs());
+    }
+
+  private:
+    static constexpr uint64_t kChunkUs = 50'000;
+
+    void
+    flushAt(uint64_t now)
+    {
+        w_->completeEvent("expand", tid_, startUs_, now - startUs_,
+                          {{"states", std::to_string(states_)}});
+        startUs_ = now;
+        states_ = 0;
+    }
+
+    obs::TraceWriter *w_ = nullptr;
+    uint32_t tid_ = 1;
+    uint64_t startUs_ = 0;
+    uint64_t states_ = 0;
+};
+
+/**
  * State invariants shared by both exploration modes: global SWMR,
  * the data-value invariant, and the empty-network transient deadlock.
  * Returns the first violation in the same order the sequential
@@ -179,12 +466,21 @@ class Checker
     Checker(const System &sys, const CheckOptions &opts)
         : sys_(sys), opts_(opts),
           tracing_(opts.traceOnError && !opts.hashCompaction),
-          symmetry_(opts.symmetryReduction && !sys.symClasses.empty())
+          symmetry_(opts.symmetryReduction && !sys.symClasses.empty()),
+          instr_(opts, 1, tracing_), chunker_(instr_.trace(), 1)
     {}
 
     CheckResult
     run()
     {
+        wall_.restart();
+        if (instr_.on()) {
+            if (auto *tw = instr_.trace())
+                tw->setThreadName(1, "checker");
+            instr_.startProgress(
+                [this] { return instr_.baseSample(); });
+        }
+
         SysState init = initialState(sys_, opts_.accessBudget);
         tryAdd(std::move(init), SIZE_MAX, "init");
 
@@ -211,8 +507,13 @@ class Checker
                 queue_.pop_front();
             }
             ++result_.statesExplored;
+            if (instr_.on()) {
+                instr_.noteExplored();
+                instr_.queuePop();
+            }
 
             size_t successors = expand(cur, idx);
+            chunker_.bump();
             if (!result_.errorKind.empty())
                 return finish(false);
 
@@ -250,6 +551,11 @@ class Checker
     std::vector<char> maskScratch_;
     SysState nextScratch_;
 
+    Instr instr_;
+    SpanChunker chunker_;
+    util::Stopwatch wall_;
+    unsigned symTick_ = 0;  ///< canonicalization sampling cadence
+
     void
     fail(const std::string &kind, const std::string &detail, size_t idx)
     {
@@ -263,12 +569,19 @@ class Checker
     buildTrace(size_t idx)
     {
         std::vector<std::string> rev;
+        std::vector<std::string> rev_json;
         while (idx != SIZE_MAX && rev.size() < 200) {
             rev.push_back(parents_[idx].second + "  =>  " +
                           describeState(sys_, frontier_[idx]));
+            rev_json.push_back(
+                "{\"event\": " + obs::jsonQuote(parents_[idx].second) +
+                ", \"state\": " +
+                describeStateJson(sys_, frontier_[idx]) + "}");
             idx = parents_[idx].first;
         }
         result_.trace.assign(rev.rbegin(), rev.rend());
+        result_.traceStepsJson.assign(rev_json.rbegin(),
+                                      rev_json.rend());
     }
 
     /** Dedup @p st; stores it and returns a pointer to the stored
@@ -280,17 +593,42 @@ class Checker
     tryAdd(SysState &&st, size_t parent, const std::string &how)
     {
         ++result_.statesGenerated;
-        if (symmetry_)
-            st.encodeCanonicalTo(sys_, encScratch_);
-        else
+        if (instr_.on())
+            instr_.noteGenerated();
+        if (symmetry_) {
+            if (instr_.on()) {
+                instr_.noteSymCall();
+                if (Instr::sampleTick(symTick_)) {
+                    util::Stopwatch sw;
+                    st.encodeCanonicalTo(sys_, encScratch_);
+                    instr_.noteSymSample(
+                        static_cast<uint64_t>(sw.ns()));
+                } else {
+                    st.encodeCanonicalTo(sys_, encScratch_);
+                }
+            } else {
+                st.encodeCanonicalTo(sys_, encScratch_);
+            }
+        } else {
             st.encodeTo(encScratch_);
+        }
         if (opts_.hashCompaction) {
             uint64_t h = hashState(encScratch_, opts_.compactionSeed);
-            if (!visitedHashes_.insert(h).second)
+            if (!visitedHashes_.insert(h).second) {
+                if (instr_.on())
+                    instr_.noteDedupHit();
                 return nullptr;
+            }
         } else {
-            if (!visited_.insert(encScratch_).second)
+            if (!visited_.insert(encScratch_).second) {
+                if (instr_.on())
+                    instr_.noteDedupHit();
                 return nullptr;
+            }
+        }
+        if (instr_.on()) {
+            instr_.noteAccepted(encScratch_.size());
+            instr_.queuePush();
         }
         if (tracing_) {
             frontier_.push_back(std::move(st));
@@ -323,6 +661,9 @@ class Checker
             buildTrace(parent);
             result_.trace.push_back(how + "  =>  " +
                                     describeState(sys_, bad));
+            result_.traceStepsJson.push_back(
+                "{\"event\": " + obs::jsonQuote(how) +
+                ", \"state\": " + describeStateJson(sys_, bad) + "}");
         }
     }
 
@@ -355,6 +696,8 @@ class Checker
                 continue;
             ++successors;
             ++result_.transitionsFired;
+            if (instr_.on())
+                instr_.noteFired();
             std::string how;
             if (tracing_) {
                 how = "deliver " + sys_.msgs->displayName(msg.type) +
@@ -400,6 +743,8 @@ class Checker
                         continue;
                     ++successors;
                     ++result_.transitionsFired;
+                    if (instr_.on())
+                        instr_.noteFired();
                     std::string how;
                     if (tracing_) {
                         how = "core " + std::to_string(c) + ": " +
@@ -428,6 +773,8 @@ class Checker
             double n = static_cast<double>(result_.statesGenerated);
             result_.omissionProbability = n * n / 1.8446744e19;
         }
+        chunker_.flush();
+        instr_.finalize(result_, wall_.ms());
         return result_;
     }
 };
@@ -454,16 +801,30 @@ class ParallelChecker
                     unsigned threads)
         : sys_(sys), opts_(opts), numThreads_(threads),
           tracing_(opts.traceOnError && !opts.hashCompaction),
-          symmetry_(opts.symmetryReduction && !sys.symClasses.empty())
+          symmetry_(opts.symmetryReduction && !sys.symClasses.empty()),
+          instr_(opts, threads, tracing_)
     {}
 
     CheckResult
     run()
     {
+        wall_.restart();
+        if (instr_.on()) {
+            if (auto *tw = instr_.trace()) {
+                for (unsigned t = 0; t < numThreads_; ++t) {
+                    tw->setThreadName(t + 1, "checker worker " +
+                                                 std::to_string(t));
+                }
+            }
+            instr_.startProgress([this] { return sample(); });
+        }
+
         SysState init = initialState(sys_, opts_.accessBudget);
         {
             WorkerCtx ws;
             ++generatedCount_;
+            if (instr_.on())
+                instr_.noteGenerated();
             if (symmetry_)
                 init.encodeCanonicalTo(sys_, ws.enc);
             else
@@ -476,12 +837,14 @@ class ParallelChecker
             }
             queue_.push_back({std::move(init), node});
             pending_ = 1;
+            if (instr_.on())
+                instr_.setQueueDepth(1);
         }
 
         std::vector<std::thread> workers;
         workers.reserve(numThreads_);
         for (unsigned t = 0; t < numThreads_; ++t)
-            workers.emplace_back([this] { workerLoop(); });
+            workers.emplace_back([this, t] { workerLoop(t); });
         for (auto &w : workers)
             w.join();
 
@@ -498,6 +861,10 @@ class ParallelChecker
                     result_.trace.push_back(
                         error_.how + "  =>  " +
                         describeState(sys_, error_.bad));
+                    result_.traceStepsJson.push_back(
+                        "{\"event\": " + obs::jsonQuote(error_.how) +
+                        ", \"state\": " +
+                        describeStateJson(sys_, error_.bad) + "}");
                 }
             }
         }
@@ -508,6 +875,7 @@ class ParallelChecker
             double n = static_cast<double>(result_.statesGenerated);
             result_.omissionProbability = n * n / 1.8446744e19;
         }
+        instr_.finalize(result_, wall_.ms());
         return result_;
     }
 
@@ -553,6 +921,7 @@ class ParallelChecker
         // Successor scratch: duplicate successors are discarded
         // without moving it, so its vector capacity is reused.
         SysState next;
+        unsigned symTick = 0;  ///< 1-in-64 canonicalization sampling
     };
 
     struct ErrorSlot
@@ -592,20 +961,54 @@ class ParallelChecker
     std::atomic<uint64_t> generatedCount_{0};
     std::atomic<uint64_t> firedCount_{0};
 
+    Instr instr_;
+    util::Stopwatch wall_;
+
+    /** Progress sample: engine counters + shard occupancy scan. */
+    obs::ProgressSample
+    sample()
+    {
+        obs::ProgressSample s = instr_.baseSample();
+        s.statesExplored =
+            exploredCount_.load(std::memory_order_relaxed);
+        s.statesGenerated =
+            generatedCount_.load(std::memory_order_relaxed);
+        s.transitionsFired =
+            firedCount_.load(std::memory_order_relaxed);
+        s.shardCount = kShardCount;
+        uint64_t occupied = 0;
+        for (Shard &sh : shards_) {
+            std::lock_guard<std::mutex> lk(sh.mu);
+            if (!sh.exact.empty() || !sh.hashes.empty())
+                ++occupied;
+        }
+        s.shardsOccupied = occupied;
+        return s;
+    }
+
     /** Insert into the sharded visited set; true if new. */
     bool
     insertVisited(const std::string &enc)
     {
+        bool fresh;
         if (opts_.hashCompaction) {
             uint64_t h = hashState(enc, opts_.compactionSeed);
             Shard &s = shards_[h & (kShardCount - 1)];
             std::lock_guard<std::mutex> lk(s.mu);
-            return s.hashes.insert(h).second;
+            fresh = s.hashes.insert(h).second;
+        } else {
+            uint64_t h = hashState(enc, 0);
+            Shard &s = shards_[h & (kShardCount - 1)];
+            std::lock_guard<std::mutex> lk(s.mu);
+            fresh = s.exact.insert(enc).second;
         }
-        uint64_t h = hashState(enc, 0);
-        Shard &s = shards_[h & (kShardCount - 1)];
-        std::lock_guard<std::mutex> lk(s.mu);
-        return s.exact.insert(enc).second;
+        if (instr_.on()) {
+            if (fresh)
+                instr_.noteAccepted(enc.size());
+            else
+                instr_.noteDedupHit();
+        }
+        return fresh;
     }
 
     void
@@ -659,9 +1062,10 @@ class ParallelChecker
     }
 
     void
-    workerLoop()
+    workerLoop(unsigned widx)
     {
         WorkerCtx ws;
+        SpanChunker chunker(instr_.trace(), widx + 1);
         for (;;) {
             ws.batch.clear();
             {
@@ -679,6 +1083,8 @@ class ParallelChecker
                     ws.batch.push_back(std::move(queue_.front()));
                     queue_.pop_front();
                 }
+                if (instr_.on())
+                    instr_.setQueueDepth(queue_.size());
             }
 
             ws.accepted.clear();
@@ -690,6 +1096,7 @@ class ParallelChecker
                     break;
                 expandOne(it, ws);
                 ++consumed;
+                chunker.bump();
             }
             flush(ws, consumed);
             if (stop_.load(std::memory_order_relaxed))
@@ -723,6 +1130,8 @@ class ParallelChecker
             wake_all = pending_ == 0 ||
                        stop_.load(std::memory_order_relaxed) ||
                        !queue_.empty();
+            if (instr_.on())
+                instr_.setQueueDepth(queue_.size());
         }
         if (wake_all)
             qCv_.notify_all();
@@ -732,12 +1141,19 @@ class ParallelChecker
     buildTrace(size_t idx)
     {
         std::vector<std::string> rev;
+        std::vector<std::string> rev_json;
         while (idx != SIZE_MAX && rev.size() < 200) {
             rev.push_back(arena_[idx].how + "  =>  " +
                           describeState(sys_, arena_[idx].state));
+            rev_json.push_back(
+                "{\"event\": " + obs::jsonQuote(arena_[idx].how) +
+                ", \"state\": " +
+                describeStateJson(sys_, arena_[idx].state) + "}");
             idx = arena_[idx].parent;
         }
         result_.trace.assign(rev.rbegin(), rev.rend());
+        result_.traceStepsJson.assign(rev_json.rbegin(),
+                                      rev_json.rend());
     }
 
     /** Dedup, invariant-check and buffer one successor. Symmetry
@@ -749,10 +1165,25 @@ class ParallelChecker
                     std::string how, WorkerCtx &ws)
     {
         generatedCount_.fetch_add(1, std::memory_order_relaxed);
-        if (symmetry_)
-            next.encodeCanonicalTo(sys_, ws.enc);
-        else
+        if (instr_.on())
+            instr_.noteGenerated();
+        if (symmetry_) {
+            if (instr_.on()) {
+                instr_.noteSymCall();
+                if (Instr::sampleTick(ws.symTick)) {
+                    util::Stopwatch sw;
+                    next.encodeCanonicalTo(sys_, ws.enc);
+                    instr_.noteSymSample(
+                        static_cast<uint64_t>(sw.ns()));
+                } else {
+                    next.encodeCanonicalTo(sys_, ws.enc);
+                }
+            } else {
+                next.encodeCanonicalTo(sys_, ws.enc);
+            }
+        } else {
             next.encodeTo(ws.enc);
+        }
         if (!insertVisited(ws.enc))
             return true;
         if (auto v = findViolation(sys_, next)) {
@@ -796,6 +1227,8 @@ class ParallelChecker
                 continue;
             ++successors;
             firedCount_.fetch_add(1, std::memory_order_relaxed);
+            if (instr_.on())
+                instr_.noteFired();
             std::string how;
             if (tracing_) {
                 how = "deliver " + sys_.msgs->displayName(msg.type) +
@@ -841,6 +1274,8 @@ class ParallelChecker
                         continue;
                     ++successors;
                     firedCount_.fetch_add(1, std::memory_order_relaxed);
+                    if (instr_.on())
+                        instr_.noteFired();
                     std::string how;
                     if (tracing_) {
                         how = "core " + std::to_string(c) + ": " +

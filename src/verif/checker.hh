@@ -22,6 +22,11 @@
 
 #include "verif/system.hh"
 
+namespace hieragen::obs
+{
+struct Telemetry;
+}
+
 namespace hieragen::verif
 {
 
@@ -65,6 +70,20 @@ struct CheckOptions
      * (each unique state is expanded exactly once in either mode).
      */
     unsigned numThreads = 0;
+
+    /**
+     * Observability sinks (non-owning; see obs/telemetry.hh). When
+     * set, both engines feed live counters a progress heartbeat can
+     * sample, emit per-worker expansion spans to the trace writer,
+     * and publish final totals (checker.states_explored == the
+     * returned statesExplored, dedup hits, symmetry time share, ...)
+     * to the metrics registry. Null (the default) disables every
+     * instrumentation hook — the hot loop pays one predictable
+     * branch; with telemetry on the cost is a relaxed sharded-counter
+     * add per event (< 2% on the flagship run; docs/OBSERVABILITY.md
+     * has the measurement).
+     */
+    obs::Telemetry *telemetry = nullptr;
 };
 
 struct CheckResult
@@ -99,7 +118,25 @@ struct CheckResult
 
     std::vector<std::string> trace;
 
+    /**
+     * Structured twin of `trace`: one JSON object per step (the
+     * fired event plus the full resulting state — controllers,
+     * network, ghost, budgets; see describeStateJson). Filled
+     * whenever `trace` is, i.e. when traceOnError fires on a
+     * violation and hash compaction is off.
+     */
+    std::vector<std::string> traceStepsJson;
+
     std::string summary() const;
+
+    /**
+     * The violation as one machine-readable JSON document:
+     * {"ok", "error_kind", "detail", "states_explored", "steps":
+     * [{"event", "state": {...}}, ...]}. Steps are empty when no
+     * trace was recorded (clean run, traceOnError off, or hash
+     * compaction on).
+     */
+    std::string traceJson() const;
 };
 
 /** Model-check one system from its initial state. */

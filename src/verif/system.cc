@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "fsm/printer.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace hieragen::verif
@@ -599,6 +600,45 @@ describeState(const System &sys, const SysState &st)
         }
         os << " ]";
     }
+    return os.str();
+}
+
+std::string
+describeStateJson(const System &sys, const SysState &st)
+{
+    std::ostringstream os;
+    os << "{\"nodes\": [";
+    for (size_t i = 0; i < sys.nodes.size(); ++i) {
+        const NodeCtx &n = sys.nodes[i];
+        const BlockState &b = st.blocks[i];
+        if (i)
+            os << ", ";
+        os << "{\"id\": " << n.id << ", \"machine\": "
+           << obs::jsonQuote(n.machine->name()) << ", \"state\": "
+           << obs::jsonQuote(n.machine->state(b.state).name)
+           << ", \"has_data\": " << (b.hasData ? "true" : "false")
+           << ", \"data\": " << int(b.data) << ", \"ack_ctr\": "
+           << int(b.tbe.ackCtr) << ", \"owner\": " << b.owner
+           << ", \"sharers\": " << b.sharers << "}";
+    }
+    os << "], \"ghost\": " << int(st.ghost) << ", \"budget\": [";
+    for (size_t i = 0; i < st.budget.size(); ++i)
+        os << (i ? ", " : "") << int(st.budget[i]);
+    os << "], \"msgs\": [";
+    for (size_t i = 0; i < st.msgs.size(); ++i) {
+        const Msg &m = st.msgs[i];
+        if (i)
+            os << ", ";
+        os << "{\"type\": "
+           << obs::jsonQuote(sys.msgs->displayName(m.type))
+           << ", \"src\": " << m.src << ", \"dst\": " << m.dst
+           << ", \"requestor\": " << m.requestor << ", \"epoch\": "
+           << obs::jsonQuote(toString(m.epoch)) << ", \"ack_count\": "
+           << m.ackCount << ", \"has_data\": "
+           << (m.hasData ? "true" : "false") << ", \"data\": "
+           << int(m.data) << "}";
+    }
+    os << "]}";
     return os.str();
 }
 

@@ -133,6 +133,14 @@ SysState initialState(const System &sys, int access_budget);
 /** Human-readable one-line state dump (for counterexample traces). */
 std::string describeState(const System &sys, const SysState &st);
 
+/**
+ * Machine-readable JSON object for one state: per-node controller
+ * states (with data/acks/owner/sharers), the data-value ghost, the
+ * per-leaf access budgets, and the in-flight message multiset. Used
+ * by CheckResult::traceJson() to emit structured counterexamples.
+ */
+std::string describeStateJson(const System &sys, const SysState &st);
+
 } // namespace hieragen::verif
 
 #endif // HIERAGEN_VERIF_SYSTEM_HH
