@@ -18,6 +18,7 @@
  * and multi-threaded to record the parallel speedup.
  */
 
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -92,9 +93,20 @@ attachUnreduced(Measurement &m, const Measurement &off)
     m.ok = m.ok && off.ok;
 }
 
+/** Flagship run with periodic checkpointing at the default cadence,
+ *  relative to the plain run — the number the ≤5% overhead criterion
+ *  in docs/VERIFIER.md tracks. */
+struct CheckpointOverhead
+{
+    double pct = 0.0;
+    uint64_t writes = 0;
+    uint64_t bytes = 0;
+};
+
 void
 writeJson(const std::vector<Measurement> &rows, unsigned threads,
-          double speedup, const obs::MetricsRegistry &telemetry,
+          double speedup, const CheckpointOverhead &ckpt,
+          const obs::MetricsRegistry &telemetry,
           const std::string &path)
 {
     std::ofstream out(path);
@@ -104,6 +116,10 @@ writeJson(const std::vector<Measurement> &rows, unsigned threads,
         << std::thread::hardware_concurrency() << ",\n";
     out << "  \"msi_msi_nonstalling_2h2l_speedup\": " << std::fixed
         << std::setprecision(3) << speedup << ",\n";
+    out << "  \"checkpoint_overhead_pct\": " << std::fixed
+        << std::setprecision(2) << ckpt.pct
+        << ", \"checkpoint_writes\": " << ckpt.writes
+        << ", \"checkpoint_bytes\": " << ckpt.bytes << ",\n";
     // Telemetry snapshot of the flagship parallel run (see
     // docs/OBSERVABILITY.md for the metric definitions).
     out << "  \"flagship_telemetry\": {\"states_per_sec\": "
@@ -398,7 +414,48 @@ main(int argc, char **argv)
               << std::setprecision(2) << speedup << "x, "
               << seq.states << " states both)\n";
 
-    writeJson(rows, threads, speedup, reg,
+    // Checkpoint overhead at the default cadence (30 s): the flagship
+    // sequential run again, snapshotting to a scratch file. The ≤5%
+    // criterion from docs/VERIFIER.md is tracked by
+    // checkpoint_overhead_pct in the JSON.
+    CheckpointOverhead ckpt;
+    {
+        verif::CheckOptions co = fo;
+        co.numThreads = 1;
+        co.checkpointPath = "bench_verification.ckpt.tmp";
+        util::Stopwatch sw;
+        auto rr = verif::checkHier(flagship, 2, 2, co);
+        Measurement withCkpt;
+        withCkpt.protocol = "MSI/MSI";
+        withCkpt.variant = "NonStalling";
+        withCkpt.config = "2H+2L exact seq ckpt";
+        withCkpt.threads = 1;
+        withCkpt.ok = rr.ok;
+        withCkpt.states = rr.statesExplored;
+        withCkpt.ms = sw.ms();
+        withCkpt.statesPerSec =
+            withCkpt.ms > 0 ? static_cast<double>(rr.statesExplored) *
+                                  1e3 / withCkpt.ms
+                            : 0.0;
+        withCkpt.symmetry = rr.symmetryReduction;
+        ckpt.writes = rr.checkpointsWritten;
+        ckpt.bytes = rr.checkpointBytes;
+        ckpt.pct = seq.ms > 0
+                       ? (withCkpt.ms - seq.ms) * 100.0 / seq.ms
+                       : 0.0;
+        rows.push_back(withCkpt);
+        all_ok = all_ok && withCkpt.ok &&
+                 withCkpt.states == seq.states;
+        std::remove("bench_verification.ckpt.tmp");
+        std::remove("bench_verification.ckpt.tmp.tmp");
+        std::cout << "checkpointing at default cadence: "
+                  << std::fixed << std::setprecision(0) << withCkpt.ms
+                  << " ms (" << std::showpos << std::setprecision(1)
+                  << ckpt.pct << "%" << std::noshowpos << ", "
+                  << ckpt.writes << " writes)\n";
+    }
+
+    writeJson(rows, threads, speedup, ckpt, reg,
               "BENCH_verification.json");
     std::cout << "wrote BENCH_verification.json\n";
 

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The stable HieraGen facade.
+ *
+ * Everything a tool or an embedding needs lives behind two entry
+ * points:
+ *
+ *   - GenerateRequest / generate(): SSPs in, a concurrent
+ *     hierarchical protocol out (the paper's Figure 2 tool flow),
+ *     with the pass pipeline's instrumentation (per-pass stats, lint
+ *     gates, stage dumps) surfaced as plain strings instead of
+ *     pipeline internals.
+ *
+ *   - VerifySession: one verification run as an object. Construct it
+ *     from a System (or the flat()/hier() conveniences), configure
+ *     checkpointing, resume, interrupt and memory limits with
+ *     chainable setters, then run() once and read result().
+ *
+ * The pre-facade entry points — core::generate()/generateDeep() and
+ * verif::check()/checkFlat()/checkHier() — remain supported and are
+ * what this facade calls; their behavior is pinned by the golden
+ * tests. New code and the CLI should prefer this header: it is the
+ * surface we keep stable while the layers underneath move. See
+ * docs/API.md for the migration guide.
+ */
+
+#ifndef HIERAGEN_API_HIERAGEN_HH
+#define HIERAGEN_API_HIERAGEN_HH
+
+#include <atomic>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/passes.hh"
+#include "verif/checker.hh"
+#include "verif/checkpoint.hh"
+#include "verif/system.hh"
+
+namespace hieragen::api
+{
+
+// ---------------------------------------------------------------
+// Generation
+
+/**
+ * One generation job: the two SSPs (non-owning; must outlive the
+ * call) plus every knob the classic entry points and the CLI expose.
+ */
+struct GenerateRequest
+{
+    const Protocol *lower = nullptr;
+    const Protocol *higher = nullptr;
+
+    /** Atomic = Step 1 only; Stalling/NonStalling also run Step 2. */
+    ConcurrencyMode mode = ConcurrencyMode::NonStalling;
+
+    /** Section V-D optimized solution (default: conservative). */
+    bool optimizedCompat = false;
+
+    /** Merge equivalent transient states (paper V-E). */
+    bool mergeEquivalentStates = true;
+
+    /** Generate dir/cache eviction logic (paper V-B-3). */
+    bool dirCacheEvictions = true;
+
+    /** Run the structural lints after every pass; generation stops
+     *  at the first pass that emits a malformed machine. */
+    bool checkPasses = false;
+
+    /** Dump all machine tables to @p dumpStream after this pass. */
+    std::string dumpAfterPass;
+    std::ostream *dumpStream = nullptr;
+
+    /** Observability sinks (non-owning; see obs/telemetry.hh). */
+    obs::Telemetry *telemetry = nullptr;
+};
+
+/** Outcome of generate(): the protocol plus the pipeline's report. */
+struct GenerateResult
+{
+    bool ok = false;
+
+    /**
+     * The generated protocol (valid when ok). VerifySession::hier()
+     * and murphi::emitHier() take it by reference; keep this result
+     * alive (and un-moved) while they use it.
+     */
+    HierProtocol protocol;
+
+    /** When !ok: the pass whose lint gate fired, and its findings. */
+    std::string failedPass;
+    std::string lintReport;
+
+    size_t passesRun = 0;
+    std::string statsTable;  ///< human-readable per-pass stats
+    std::string statsJson;   ///< machine-readable per-pass report
+};
+
+/** Run the standard generation pipeline for @p req. Table- and
+ *  stats-identical to core::generate() with equivalent options. */
+GenerateResult generate(const GenerateRequest &req);
+
+/**
+ * N-level generation (paper Section VII-A): one HierProtocol per
+ * adjacent level pair, innermost first. Mode/compat/merge knobs are
+ * taken from @p req; its lower/higher pointers are ignored.
+ */
+std::vector<HierProtocol>
+generateDeep(const std::vector<const Protocol *> &levels,
+             const GenerateRequest &req);
+
+/** Registered pipeline passes, in canonical order. */
+std::vector<core::PassInfo> listPasses();
+
+// ---------------------------------------------------------------
+// Verification
+
+/**
+ * One verification run as an object.
+ *
+ *   auto s = VerifySession::hier(p, 2, 2, opts);
+ *   s.checkpointTo("run.ckpt", 30.0).onStop(&g_stop);
+ *   const verif::CheckResult &r = s.run();
+ *
+ * Resume:
+ *
+ *   auto s = VerifySession::hier(p, 2, 2, opts);
+ *   if (!s.resumeFrom("run.ckpt"))
+ *       fail(s.error());
+ *   s.checkpointTo("run.ckpt").run();
+ *
+ * A resumed run reproduces the verdict, canonical state count and
+ * Section V-E census of an uninterrupted run, at any thread count.
+ * The underlying System references the protocol's machines, so the
+ * protocol must outlive the session.
+ */
+class VerifySession
+{
+  public:
+    explicit VerifySession(verif::System sys,
+                           verif::CheckOptions opts = {});
+
+    /** Flat layout: one directory, @p num_caches core/caches. */
+    static VerifySession flat(const Protocol &p, int num_caches,
+                              verif::CheckOptions opts = {});
+
+    /** Hierarchical layout (Figure 1b): root, @p num_cache_h cache-H,
+     *  one dir/cache, @p num_cache_l cache-L. */
+    static VerifySession hier(const HierProtocol &p, int num_cache_h,
+                              int num_cache_l,
+                              verif::CheckOptions opts = {});
+
+    VerifySession(VerifySession &&) = default;
+    VerifySession &operator=(VerifySession &&) = default;
+
+    /** Periodically snapshot exploration to @p path (atomic
+     *  replace); also flushed on every resumable abort. */
+    VerifySession &checkpointTo(std::string path,
+                                double interval_sec = 30.0);
+
+    /**
+     * Load and validate @p path; the next run() continues from it.
+     * False (with error() set) on a missing/corrupt/truncated file
+     * or an options/system fingerprint mismatch — the session stays
+     * usable and would run from the initial state.
+     */
+    bool resumeFrom(const std::string &path);
+
+    /** Cooperative interrupt flag (non-owning): when set, run()
+     *  stops, flushes a final checkpoint and reports "interrupted". */
+    VerifySession &onStop(const std::atomic<bool> *flag);
+
+    /** Bounded-memory watermark (estimated resident bytes). */
+    VerifySession &
+    memoryLimit(uint64_t max_resident_bytes,
+                verif::MemoryLimitPolicy policy =
+                    verif::MemoryLimitPolicy::StopResumable);
+
+    /** Observability sinks for the run (non-owning). */
+    VerifySession &telemetry(obs::Telemetry *t);
+
+    /** Direct access to the options the run will use. */
+    verif::CheckOptions &options() { return opts_; }
+    const verif::CheckOptions &options() const { return opts_; }
+
+    /** Execute the run (once; subsequent calls return the cached
+     *  result). */
+    const verif::CheckResult &run();
+
+    /** Result of run(); default-constructed before it. */
+    const verif::CheckResult &result() const { return result_; }
+    bool hasRun() const { return ran_; }
+
+    /** Last resumeFrom() failure, "" if none. */
+    const std::string &error() const { return error_; }
+
+    const verif::System &system() const { return sys_; }
+
+  private:
+    verif::System sys_;
+    verif::CheckOptions opts_;
+    std::unique_ptr<verif::CheckpointData> resume_;
+    verif::CheckResult result_;
+    bool ran_ = false;
+    std::string error_;
+};
+
+} // namespace hieragen::api
+
+#endif // HIERAGEN_API_HIERAGEN_HH

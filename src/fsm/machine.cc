@@ -147,6 +147,37 @@ Machine::pruneUnreached()
     }
 }
 
+std::vector<unsigned char>
+Machine::exportReachedMarks() const
+{
+    std::vector<unsigned char> out(stateReached_.begin(),
+                                   stateReached_.end());
+    for (const auto &[key, alts] : table_) {
+        for (const auto &t : alts)
+            out.push_back(t.reached ? 1 : 0);
+    }
+    return out;
+}
+
+bool
+Machine::importReachedMarks(
+    const std::vector<unsigned char> &marks) const
+{
+    size_t expected = stateReached_.size();
+    for (const auto &[key, alts] : table_)
+        expected += alts.size();
+    if (marks.size() != expected)
+        return false;
+    std::copy_n(marks.begin(), stateReached_.size(),
+                stateReached_.begin());
+    size_t i = stateReached_.size();
+    for (const auto &[key, alts] : table_) {
+        for (const auto &t : alts)
+            t.reached = marks[i++] != 0;
+    }
+    return true;
+}
+
 std::vector<EventKey>
 Machine::allEventKeys() const
 {

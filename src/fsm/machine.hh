@@ -199,6 +199,23 @@ class Machine
     /** Drop all transitions (and states) never marked reached. */
     void pruneUnreached();
 
+    /**
+     * Snapshot every reached mark as one byte vector: state marks
+     * first, then one byte per transition alternative in table
+     * iteration order. The checker's checkpoint files persist this so
+     * a resumed run reproduces the Section V-E census exactly.
+     */
+    std::vector<unsigned char> exportReachedMarks() const;
+    /**
+     * Overwrite the reached marks from a snapshot taken on a machine
+     * with an identical table shape; false (marks untouched) if the
+     * snapshot size does not match. const for the same reason the
+     * marks are mutable: reachability is bookkeeping layered on an
+     * otherwise immutable machine.
+     */
+    bool importReachedMarks(
+        const std::vector<unsigned char> &marks) const;
+
     /** All event keys that appear anywhere in the table. */
     std::vector<EventKey> allEventKeys() const;
 

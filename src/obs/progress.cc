@@ -116,6 +116,10 @@ formatHeartbeat(const ProgressSample &s, const ProgressStats &d)
            << "%";
     if (s.estMemoryBytes > 0)
         os << ", ~" << formatBytes(s.estMemoryBytes);
+    if (s.checkpointsWritten > 0) {
+        os << ", ckpt x" << s.checkpointsWritten << " ("
+           << formatBytes(s.checkpointBytes) << ")";
+    }
     if (s.maxStates > 0) {
         os << ", ETA " << formatDuration(d.etaSec) << " (cap "
            << formatCount(s.maxStates) << ")";
@@ -196,6 +200,8 @@ ProgressReporter::beat()
         metrics_->gauge("progress.est_memory_bytes")
             .set(static_cast<double>(cur.estMemoryBytes));
         metrics_->gauge("progress.eta_sec").set(d.etaSec);
+        metrics_->gauge("progress.checkpoints_written")
+            .set(static_cast<double>(cur.checkpointsWritten));
         metrics_->counter("progress.heartbeats").add(1);
     }
     if (trace_) {

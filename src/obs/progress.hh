@@ -46,6 +46,8 @@ struct ProgressSample
     uint64_t symCalls = 0;         ///< total canonicalizations
     uint64_t maxStates = 0;        ///< exploration cap (0 = none)
     unsigned workers = 1;
+    uint64_t checkpointsWritten = 0;  ///< snapshots flushed so far
+    uint64_t checkpointBytes = 0;     ///< cumulative snapshot bytes
 };
 
 /** Derived rates — pure math over two samples, unit-testable. */

@@ -2,7 +2,8 @@
  * @file
  * The `hieragen` command-line tool — the shape of the artifact the
  * paper describes: SSPs in, a concurrent hierarchical protocol out in
- * the Murφ language, with optional built-in verification.
+ * the Murφ language, with optional built-in verification. Built
+ * entirely on the stable facade (api/hieragen.hh).
  *
  * Usage:
  *   hieragen --lower MSI --higher MESI [options]
@@ -16,8 +17,25 @@
  *   --optimized-compat                 Section V-D optimized solution
  *   --no-merge                         skip equivalent-state merging
  *   --verify                           model-check the result (2H+2L)
+ *   --threads N                        checker worker threads
+ *                                      (0 = one per hardware thread)
  *   --dump                             print all four FSM tables
  *   -o FILE                            write the Murphi model
+ *
+ * Checkpoint/resume (see docs/VERIFIER.md):
+ *   --checkpoint[=SECS] FILE           snapshot verification to FILE
+ *                                      every SECS seconds (default 30)
+ *                                      and on any resumable abort;
+ *                                      SIGINT/SIGTERM flush a final
+ *                                      checkpoint before exiting
+ *   --resume FILE                      continue a verification run
+ *                                      from a checkpoint
+ *   --max-memory BYTES                 emergency-checkpoint and stop
+ *                                      ("memory-limit") when the
+ *                                      estimated resident set crosses
+ *                                      BYTES; with --degrade-on-limit
+ *                                      the run instead switches to
+ *                                      hash compaction and continues
  *
  * Pipeline introspection (see docs/PIPELINE.md):
  *   --list-passes                      list registered passes, exit
@@ -36,15 +54,23 @@
  *   --trace-out FILE                   Chrome trace-event JSON of the
  *                                      run (open in ui.perfetto.dev)
  *   --metrics-json FILE                final metrics registry snapshot
+ *
+ * Exit codes: 0 success, 1 failure (verification or generation),
+ * 2 usage, 3 interrupted (resume artifact flushed when --checkpoint
+ * is set). Every exit path — success, violation, state limit,
+ * interrupt — flows through one artifact flush point, so --trace-out,
+ * --metrics-json and --stats-json are written regardless of outcome.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
-#include "core/passes.hh"
+#include "api/hieragen.hh"
 #include "dsl/lower.hh"
 #include "fsm/printer.hh"
 #include "murphi/emit.hh"
@@ -53,12 +79,21 @@
 #include "obs/trace.hh"
 #include "protocols/registry.hh"
 #include "util/logging.hh"
-#include "verif/checker.hh"
 
 using namespace hieragen;
 
 namespace
 {
+
+/** Set by the SIGINT/SIGTERM handler; polled by the checker. A
+ *  lock-free atomic store is async-signal-safe. */
+std::atomic<bool> g_stopRequested{false};
+
+extern "C" void
+onSignal(int)
+{
+    g_stopRequested.store(true, std::memory_order_relaxed);
+}
 
 struct Args
 {
@@ -71,6 +106,7 @@ struct Args
     bool optimizedCompat = false;
     bool noMerge = false;
     bool verify = false;
+    unsigned threads = 0;
     bool dump = false;
     bool listPasses = false;
     bool checkPasses = false;
@@ -80,6 +116,11 @@ struct Args
     double progressSec = 0.0;  ///< 0 = no heartbeat
     std::string traceOut;
     std::string metricsJson;
+    std::string checkpointFile;
+    double checkpointSec = 30.0;
+    std::string resumeFile;
+    uint64_t maxMemory = 0;
+    bool degradeOnLimit = false;
 };
 
 [[noreturn]] void
@@ -91,7 +132,10 @@ usage(const char *argv0)
            "--higher-file F]\n"
            "       [--mode atomic|stalling|nonstalling] "
            "[--optimized-compat]\n"
-           "       [--no-merge] [--verify] [--dump] [-o FILE]\n"
+           "       [--no-merge] [--verify] [--threads N] [--dump] "
+           "[-o FILE]\n"
+           "       [--checkpoint[=SECS] FILE] [--resume FILE]\n"
+           "       [--max-memory BYTES] [--degrade-on-limit]\n"
            "       [--list-passes] [--dump-after=PASS] "
            "[--check-passes]\n"
            "       [--pass-stats] [--stats-json FILE]\n"
@@ -138,6 +182,9 @@ parseArgs(int argc, char **argv)
             a.noMerge = true;
         } else if (arg == "--verify") {
             a.verify = true;
+        } else if (arg == "--threads") {
+            a.threads = static_cast<unsigned>(
+                std::strtoul(need(i).c_str(), nullptr, 10));
         } else if (arg == "--dump") {
             a.dump = true;
         } else if (arg == "--list-passes") {
@@ -164,10 +211,27 @@ parseArgs(int argc, char **argv)
             a.traceOut = need(i);
         } else if (arg == "--metrics-json") {
             a.metricsJson = need(i);
+        } else if (arg == "--checkpoint") {
+            a.checkpointFile = need(i);
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            std::string v =
+                arg.substr(std::string("--checkpoint=").size());
+            a.checkpointSec = std::atof(v.c_str());
+            if (a.checkpointSec <= 0.0)
+                usage(argv[0]);
+            a.checkpointFile = need(i);
+        } else if (arg == "--resume") {
+            a.resumeFile = need(i);
+        } else if (arg == "--max-memory") {
+            a.maxMemory = std::strtoull(need(i).c_str(), nullptr, 10);
+        } else if (arg == "--degrade-on-limit") {
+            a.degradeOnLimit = true;
         } else {
             usage(argv[0]);
         }
     }
+    if (!a.resumeFile.empty() && !a.verify)
+        a.verify = true;  // a resume is always a verification run
     return a;
 }
 
@@ -184,6 +248,73 @@ loadSsp(const std::string &name, const std::string &file)
     return dsl::compileProtocol(text.str());
 }
 
+/**
+ * The single artifact flush point: every exit path (success,
+ * violation, state limit, interrupt, memory limit) routes through
+ * here exactly once, so telemetry artifacts are written regardless
+ * of how the run ended.
+ */
+class ArtifactSink
+{
+  public:
+    ArtifactSink(const Args &args, obs::TraceWriter &trace,
+                 obs::MetricsRegistry &metrics)
+        : args_(args), trace_(trace), metrics_(metrics)
+    {}
+
+    void
+    setStatsJson(std::string json)
+    {
+        statsJson_ = std::move(json);
+    }
+
+    void
+    flush()
+    {
+        if (flushed_)
+            return;
+        flushed_ = true;
+        if (!args_.statsJson.empty() && !statsJson_.empty()) {
+            std::ofstream out(args_.statsJson);
+            if (!out) {
+                warn("cannot write '", args_.statsJson, "'");
+            } else {
+                out << statsJson_;
+                std::cout << "per-pass report written to "
+                          << args_.statsJson << "\n";
+            }
+        }
+        if (!args_.traceOut.empty()) {
+            std::ofstream out(args_.traceOut);
+            if (!out) {
+                warn("cannot write '", args_.traceOut, "'");
+            } else {
+                trace_.writeJson(out);
+                std::cout << "trace written to " << args_.traceOut
+                          << " (" << trace_.eventCount()
+                          << " events; open in ui.perfetto.dev)\n";
+            }
+        }
+        if (!args_.metricsJson.empty()) {
+            std::ofstream out(args_.metricsJson);
+            if (!out) {
+                warn("cannot write '", args_.metricsJson, "'");
+            } else {
+                out << metrics_.toJson();
+                std::cout << "metrics written to "
+                          << args_.metricsJson << "\n";
+            }
+        }
+    }
+
+  private:
+    const Args &args_;
+    obs::TraceWriter &trace_;
+    obs::MetricsRegistry &metrics_;
+    std::string statsJson_;
+    bool flushed_ = false;
+};
+
 } // namespace
 
 int
@@ -192,12 +323,15 @@ main(int argc, char **argv)
     Args args = parseArgs(argc, argv);
 
     if (args.listPasses) {
-        for (const auto &info : core::listPasses()) {
+        for (const auto &info : api::listPasses()) {
             std::cout << "  " << info.name << "\n      "
                       << info.description << "\n";
         }
         return 0;
     }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
 
     // One telemetry bundle shared by the pass pipeline and the
     // checker, so all spans land on a single timeline.
@@ -213,44 +347,42 @@ main(int argc, char **argv)
             telem.trace = &trace;
         telem.progressIntervalSec = args.progressSec;
     }
+    ArtifactSink artifacts(args, trace, metrics);
 
     try {
         Protocol lower = loadSsp(args.lower, args.lowerFile);
         Protocol higher = loadSsp(args.higher, args.higherFile);
 
-        // Option routing is pass selection: the compat flag picks the
-        // compat-* pass, the mode picks (or drops) the concurrency-*
-        // pass, --no-merge drops merge-equivalent.
-        core::HierGenOptions opts;
-        opts.mode = args.mode;
-        opts.compose.conservativeCompat = !args.optimizedCompat;
-        opts.mergeEquivalentStates = !args.noMerge;
-        pipeline::PassManager pm = core::buildPipeline(opts);
-        pm.setLintGates(args.checkPasses);
+        api::GenerateRequest req;
+        req.lower = &lower;
+        req.higher = &higher;
+        req.mode = args.mode;
+        req.optimizedCompat = args.optimizedCompat;
+        req.mergeEquivalentStates = !args.noMerge;
+        req.checkPasses = args.checkPasses;
+        if (!args.dumpAfter.empty()) {
+            req.dumpAfterPass = args.dumpAfter;
+            req.dumpStream = &std::cout;
+        }
         if (wantTelemetry)
-            pm.setTelemetry(&telem);
-        if (!args.dumpAfter.empty())
-            pm.setDumpAfter(args.dumpAfter, &std::cout);
+            req.telemetry = &telem;
 
-        pipeline::ProtocolBundle b;
-        b.lower = &lower;
-        b.higher = &higher;
-        b.mode = args.mode;
-        bool clean = pm.run(b);
+        api::GenerateResult gen = api::generate(req);
+        artifacts.setStatsJson(gen.statsJson);
 
-        if (!clean) {
-            const auto &last = pm.report().back();
-            std::cerr << "pass gate failed after '" << last.pass
+        if (!gen.ok) {
+            std::cerr << "pass gate failed after '" << gen.failedPass
                       << "':\n"
-                      << formatIssues(last.lintIssues);
+                      << gen.lintReport;
+            artifacts.flush();
             return 1;
         }
         if (args.checkPasses) {
-            std::cout << "pass gates: clean ("
-                      << pm.report().size() << " passes)\n";
+            std::cout << "pass gates: clean (" << gen.passesRun
+                      << " passes)\n";
         }
 
-        const HierProtocol &p = b.hier;
+        const HierProtocol &p = gen.protocol;
         std::cout << "generated " << p.name << " ("
                   << toString(p.mode) << ")\n";
         for (const Machine *m : p.machines()) {
@@ -260,16 +392,7 @@ main(int argc, char **argv)
         }
 
         if (args.passStats)
-            std::cout << pm.statsTable();
-
-        if (!args.statsJson.empty()) {
-            std::ofstream out(args.statsJson);
-            if (!out)
-                fatal("cannot write '", args.statsJson, "'");
-            out << pm.statsJson(b);
-            std::cout << "per-pass report written to "
-                      << args.statsJson << "\n";
-        }
+            std::cout << gen.statsTable;
 
         if (args.dump) {
             for (const Machine *m : p.machines())
@@ -280,34 +403,55 @@ main(int argc, char **argv)
         if (args.verify) {
             verif::CheckOptions vo;
             vo.accessBudget = 2;
+            vo.numThreads = args.threads;
             if (wantTelemetry)
                 vo.telemetry = &telem;
-            auto r = verif::checkHier(p, 2, 2, vo);
+
+            api::VerifySession session =
+                api::VerifySession::hier(p, 2, 2, vo);
+            session.onStop(&g_stopRequested);
+            if (!args.checkpointFile.empty()) {
+                session.checkpointTo(args.checkpointFile,
+                                     args.checkpointSec);
+            }
+            if (args.maxMemory > 0) {
+                session.memoryLimit(
+                    args.maxMemory,
+                    args.degradeOnLimit
+                        ? verif::MemoryLimitPolicy::
+                              DegradeToCompaction
+                        : verif::MemoryLimitPolicy::StopResumable);
+            }
+            if (!args.resumeFile.empty()) {
+                if (!session.resumeFrom(args.resumeFile)) {
+                    std::cerr << "cannot resume: " << session.error()
+                              << "\n";
+                    artifacts.flush();
+                    return 1;
+                }
+                std::cout << "resuming verification from "
+                          << args.resumeFile << "\n";
+            }
+
+            const verif::CheckResult &r = session.run();
             std::cout << "verification: " << r.summary() << "\n";
+            if (r.resumable && !r.checkpointFile.empty()) {
+                std::cout << "resume artifact: " << r.checkpointFile
+                          << " (rerun with --resume "
+                          << r.checkpointFile << ")\n";
+            }
             if (!r.ok) {
-                for (const auto &line : r.trace)
-                    std::cout << "  " << line << "\n";
-                exit_code = 1;
+                if (r.errorKind == "interrupted") {
+                    exit_code = 3;
+                } else {
+                    for (const auto &line : r.trace)
+                        std::cout << "  " << line << "\n";
+                    exit_code = 1;
+                }
             }
         }
 
-        if (!args.traceOut.empty()) {
-            std::ofstream out(args.traceOut);
-            if (!out)
-                fatal("cannot write '", args.traceOut, "'");
-            trace.writeJson(out);
-            std::cout << "trace written to " << args.traceOut
-                      << " (" << trace.eventCount()
-                      << " events; open in ui.perfetto.dev)\n";
-        }
-        if (!args.metricsJson.empty()) {
-            std::ofstream out(args.metricsJson);
-            if (!out)
-                fatal("cannot write '", args.metricsJson, "'");
-            out << metrics.toJson();
-            std::cout << "metrics written to " << args.metricsJson
-                      << "\n";
-        }
+        artifacts.flush();
         if (exit_code != 0)
             return exit_code;
 
@@ -321,6 +465,7 @@ main(int argc, char **argv)
         }
     } catch (const FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
+        artifacts.flush();
         return 1;
     }
     return 0;

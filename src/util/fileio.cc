@@ -1,0 +1,123 @@
+#include "util/fileio.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace hieragen::util
+{
+
+uint64_t
+fnv1a64(const void *data, size_t len, uint64_t seed)
+{
+    uint64_t h = seed;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+AtomicFileWriter::~AtomicFileWriter()
+{
+    abort();
+}
+
+bool
+AtomicFileWriter::fail(const std::string &what)
+{
+    if (error_.empty()) {
+        error_ = what;
+        if (errno != 0)
+            error_ += ": " + std::string(std::strerror(errno));
+    }
+    return false;
+}
+
+bool
+AtomicFileWriter::open(const std::string &path)
+{
+    abort();
+    error_.clear();
+    bytes_ = 0;
+    path_ = path;
+    tmpPath_ = path + ".tmp";
+    errno = 0;
+    f_ = std::fopen(tmpPath_.c_str(), "wb");
+    if (!f_)
+        return fail("cannot open '" + tmpPath_ + "'");
+    return true;
+}
+
+bool
+AtomicFileWriter::append(const void *data, size_t len)
+{
+    if (!f_)
+        return fail("append without open");
+    if (len == 0)
+        return true;
+    errno = 0;
+    if (std::fwrite(data, 1, len, f_) != len)
+        return fail("short write to '" + tmpPath_ + "'");
+    bytes_ += len;
+    return true;
+}
+
+bool
+AtomicFileWriter::commit()
+{
+    if (!f_)
+        return fail("commit without open");
+    errno = 0;
+    if (std::fflush(f_) != 0) {
+        abort();
+        return fail("flush failed for '" + tmpPath_ + "'");
+    }
+#ifndef _WIN32
+    // Durability barrier: the rename must not become visible before
+    // the data it names. (Rename-only atomicity would still protect
+    // against torn files, but not against data loss on power failure.)
+    if (fsync(fileno(f_)) != 0) {
+        abort();
+        return fail("fsync failed for '" + tmpPath_ + "'");
+    }
+#endif
+    std::fclose(f_);
+    f_ = nullptr;
+    errno = 0;
+    if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0) {
+        std::remove(tmpPath_.c_str());
+        return fail("rename '" + tmpPath_ + "' -> '" + path_ + "'");
+    }
+    return true;
+}
+
+void
+AtomicFileWriter::abort()
+{
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+        std::remove(tmpPath_.c_str());
+    }
+}
+
+bool
+readFileToString(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return !in.bad();
+}
+
+} // namespace hieragen::util

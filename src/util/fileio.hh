@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Durable file primitives for on-disk artifacts.
+ *
+ * AtomicFileWriter implements write-to-temp + fsync + rename-on-commit:
+ * the destination path either keeps its previous content or atomically
+ * becomes the fully written new content, never a torn intermediate.
+ * This is the substrate for the checker's checkpoint files, where a
+ * crash mid-write must not corrupt the last good checkpoint.
+ */
+
+#ifndef HIERAGEN_UTIL_FILEIO_HH
+#define HIERAGEN_UTIL_FILEIO_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace hieragen::util
+{
+
+/** 64-bit FNV-1a, optionally chained via @p seed (pass the previous
+ *  return value to hash data in pieces). */
+uint64_t fnv1a64(const void *data, size_t len,
+                 uint64_t seed = 14695981039346656037ull);
+
+/**
+ * Buffered writer to `path + ".tmp"` that only exposes the data at
+ * @p path once commit() succeeds: append bytes, then commit() flushes,
+ * fsyncs and renames over the destination. Destruction without
+ * commit() (or abort()) removes the temp file, so failed writes leave
+ * nothing behind.
+ */
+class AtomicFileWriter
+{
+  public:
+    AtomicFileWriter() = default;
+    ~AtomicFileWriter();
+
+    AtomicFileWriter(const AtomicFileWriter &) = delete;
+    AtomicFileWriter &operator=(const AtomicFileWriter &) = delete;
+
+    /** Create/truncate the temp file; false (with error()) on failure. */
+    bool open(const std::string &path);
+
+    bool append(const void *data, size_t len);
+
+    bool
+    append(const std::string &bytes)
+    {
+        return append(bytes.data(), bytes.size());
+    }
+
+    /** Flush + fsync + rename onto the destination path. */
+    bool commit();
+
+    /** Drop the temp file without touching the destination. */
+    void abort();
+
+    uint64_t bytesWritten() const { return bytes_; }
+    const std::string &error() const { return error_; }
+
+  private:
+    std::FILE *f_ = nullptr;
+    std::string path_;
+    std::string tmpPath_;
+    uint64_t bytes_ = 0;
+    std::string error_;
+
+    bool fail(const std::string &what);
+};
+
+/** Read a whole file into @p out; false if it cannot be opened/read. */
+bool readFileToString(const std::string &path, std::string &out);
+
+} // namespace hieragen::util
+
+#endif // HIERAGEN_UTIL_FILEIO_HH

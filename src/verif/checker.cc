@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
 #include "util/stopwatch.hh"
+#include "verif/checkpoint.hh"
 
 namespace hieragen::verif
 {
@@ -230,6 +232,26 @@ class Instr
         queueDepth_.store(d, std::memory_order_relaxed);
     }
 
+    // --- Checkpoint hooks (cold path; safe with telemetry off). ---
+    void
+    noteCheckpointWrite(uint64_t bytes, double ms)
+    {
+        cpWrites_.fetch_add(1, std::memory_order_relaxed);
+        cpBytes_.fetch_add(bytes, std::memory_order_relaxed);
+        if (!telem_ || !reg_)
+            return;
+        reg_->counter("checkpoint.writes").add(1);
+        reg_->counter("checkpoint.bytes_written").add(bytes);
+        reg_->gauge("checkpoint.last_write_ms").set(ms);
+    }
+
+    void
+    noteCheckpointRestore(double ms)
+    {
+        if (telem_ && reg_)
+            reg_->gauge("checkpoint.restore_ms").set(ms);
+    }
+
     // --- Sampler side. ---
 
     /** Common sample fields; engines overwrite their own counters. */
@@ -249,6 +271,9 @@ class Instr
         s.symCalls = symCalls_->value();
         s.maxStates = maxStates_;
         s.workers = workers_;
+        s.checkpointsWritten =
+            cpWrites_.load(std::memory_order_relaxed);
+        s.checkpointBytes = cpBytes_.load(std::memory_order_relaxed);
         return s;
     }
 
@@ -290,6 +315,7 @@ class Instr
         if (!telem_ || !telem_->metrics)
             return;
         obs::MetricsRegistry &m = *telem_->metrics;
+        m.gauge("checker.ok").set(r.ok ? 1.0 : 0.0);
         m.counter("checker.states_explored").add(r.statesExplored);
         m.counter("checker.states_generated").add(r.statesGenerated);
         m.counter("checker.transitions_fired")
@@ -340,6 +366,8 @@ class Instr
     std::atomic<uint64_t> fired_{0};
     std::atomic<uint64_t> visited_{0};
     std::atomic<uint64_t> queueDepth_{0};
+    std::atomic<uint64_t> cpWrites_{0};
+    std::atomic<uint64_t> cpBytes_{0};
 
     obs::ProgressReporter reporter_;
 };
@@ -465,15 +493,24 @@ class Checker
   public:
     Checker(const System &sys, const CheckOptions &opts)
         : sys_(sys), opts_(opts),
-          tracing_(opts.traceOnError && !opts.hashCompaction),
+          compaction_(opts.hashCompaction ||
+                      (opts.resume &&
+                       opts.resume->header.storedAsHashes)),
+          tracing_(opts.traceOnError && !compaction_),
           symmetry_(opts.symmetryReduction && !sys.symClasses.empty()),
           instr_(opts, 1, tracing_), chunker_(instr_.trace(), 1)
-    {}
+    {
+        if (!opts_.checkpointPath.empty() || opts_.resume) {
+            fingerprint_ = optionsFingerprint(opts_);
+            sysHash_ = systemConfigHash(sys_);
+        }
+    }
 
     CheckResult
     run()
     {
         wall_.restart();
+        lastCheckpointMs_ = 0;
         if (instr_.on()) {
             if (auto *tw = instr_.trace())
                 tw->setThreadName(1, "checker");
@@ -481,17 +518,23 @@ class Checker
                 [this] { return instr_.baseSample(); });
         }
 
-        SysState init = initialState(sys_, opts_.accessBudget);
-        tryAdd(std::move(init), SIZE_MAX, "init");
+        if (opts_.resume) {
+            restoreFrom(*opts_.resume);
+        } else {
+            SysState init = initialState(sys_, opts_.accessBudget);
+            tryAdd(std::move(init), SIZE_MAX, "init");
+        }
 
         while (tracing_ ? head_ < frontier_.size() : !queue_.empty()) {
+            if (!handleControls())
+                return finish(false);
             if (opts_.maxStates &&
                 result_.statesExplored >= opts_.maxStates) {
                 result_.hitStateLimit = true;
-                result_.errorKind = "state-limit";
-                result_.detail = "exploration capped at " +
-                                 std::to_string(opts_.maxStates) +
-                                 " states";
+                stopResumable("state-limit",
+                              "exploration capped at " +
+                                  std::to_string(opts_.maxStates) +
+                                  " states");
                 return finish(false);
             }
             size_t idx = SIZE_MAX;
@@ -528,7 +571,11 @@ class Checker
   private:
     const System &sys_;
     const CheckOptions &opts_;
-    const bool tracing_;
+    // Not const: the memory watermark can degrade an exact tracing
+    // run to hash compaction mid-flight, and a resume from a degraded
+    // checkpoint starts that way.
+    bool compaction_;
+    bool tracing_;
     const bool symmetry_;  ///< canonicalize states before dedup
     CheckResult result_;
 
@@ -556,13 +603,214 @@ class Checker
     util::Stopwatch wall_;
     unsigned symTick_ = 0;  ///< canonicalization sampling cadence
 
+    // Checkpoint/limit machinery (all zero-cost when unused).
+    uint64_t fingerprint_ = 0;
+    uint64_t sysHash_ = 0;
+    uint64_t visitedBytes_ = 0;  ///< stored encoding/signature bytes
+    unsigned pollTick_ = 0;
+    double lastCheckpointMs_ = 0;
+
     void
     fail(const std::string &kind, const std::string &detail, size_t idx)
     {
         result_.errorKind = kind;
         result_.detail = detail;
-        if (opts_.traceOnError && !opts_.hashCompaction)
+        if (tracing_)
             buildTrace(idx);
+    }
+
+    /**
+     * Interrupt / watermark / periodic-checkpoint poll, once per
+     * expansion (the clock and memory estimate run 1-in-256). False
+     * means the run must stop; result_ already holds the verdict.
+     */
+    bool
+    handleControls()
+    {
+        if (opts_.stopRequested &&
+            opts_.stopRequested->load(std::memory_order_relaxed)) {
+            return stopResumable("interrupted",
+                                 "stop requested (signal or caller)");
+        }
+        if ((pollTick_++ & 255) != 0)
+            return true;
+        if (opts_.maxResidentBytes && !result_.degradedToCompaction &&
+            memEstimate() > opts_.maxResidentBytes) {
+            if (opts_.memoryLimitPolicy ==
+                    MemoryLimitPolicy::DegradeToCompaction &&
+                !compaction_) {
+                maybeCheckpoint();  // emergency pre-degrade snapshot
+                degradeToCompaction();  // disarms the watermark
+            } else {
+                return stopResumable(
+                    "memory-limit",
+                    "estimated resident memory exceeds " +
+                        std::to_string(opts_.maxResidentBytes) +
+                        " bytes");
+            }
+        }
+        if (!opts_.checkpointPath.empty() &&
+            wall_.ms() - lastCheckpointMs_ >=
+                opts_.checkpointIntervalSec * 1000.0) {
+            maybeCheckpoint();
+        }
+        return true;
+    }
+
+    /** Record a resumable abort and flush a final checkpoint. */
+    bool
+    stopResumable(const char *kind, std::string detail)
+    {
+        result_.errorKind = kind;
+        result_.detail = std::move(detail);
+        result_.resumable = true;
+        maybeCheckpoint();
+        return false;
+    }
+
+    /**
+     * Rough resident-set estimate, mirroring Instr::estMemoryBytes
+     * but fed from engine-owned accounting so the watermark works
+     * with telemetry off: stored bytes + per-entry container
+     * overhead + decoded frontier states (several times their
+     * encoding) + the tracing arena, which keeps every state.
+     */
+    uint64_t
+    memEstimate() const
+    {
+        uint64_t v = compaction_ ? visitedHashes_.size()
+                                 : visited_.size();
+        uint64_t avg = (v ? visitedBytes_ / v : 0) * 3 + 96;
+        uint64_t depth =
+            tracing_ ? frontier_.size() - head_ : queue_.size();
+        uint64_t est = visitedBytes_ + v * 64 + depth * avg;
+        if (tracing_)
+            est += frontier_.size() * avg;
+        return est;
+    }
+
+    /**
+     * Convert the exact run to hash compaction in place: encodings
+     * collapse to signatures, and the tracing frontier/parents (which
+     * pin every visited state) hand their unexpanded tail to the
+     * pop-and-free queue. Verdict semantics from here match a run
+     * started with hashCompaction on.
+     */
+    void
+    degradeToCompaction()
+    {
+        visitedHashes_.reserve(visited_.size());
+        for (const std::string &enc : visited_)
+            visitedHashes_.insert(
+                hashState(enc, opts_.compactionSeed));
+        std::unordered_set<std::string>().swap(visited_);
+        if (tracing_) {
+            for (size_t i = head_; i < frontier_.size(); ++i)
+                queue_.push_back(std::move(frontier_[i]));
+            std::vector<SysState>().swap(frontier_);
+            std::vector<std::pair<size_t, std::string>>().swap(
+                parents_);
+            head_ = 0;
+            tracing_ = false;
+        }
+        compaction_ = true;
+        visitedBytes_ = visitedHashes_.size() * 8;
+        result_.degradedToCompaction = true;
+    }
+
+    /** Snapshot the exploration to opts_.checkpointPath (no-op when
+     *  no path is configured). Failures never abort the run; a
+     *  partial write never clobbers the previous checkpoint. */
+    void
+    maybeCheckpoint()
+    {
+        if (opts_.checkpointPath.empty())
+            return;
+        util::Stopwatch sw;
+        CheckpointWriter w(opts_.checkpointPath);
+        CheckpointHeader h;
+        h.optionsFingerprint = fingerprint_;
+        h.systemHash = sysHash_;
+        h.storedAsHashes = compaction_;
+        h.degraded = result_.degradedToCompaction;
+        h.symmetryApplied = symmetry_;
+        h.statesExplored = result_.statesExplored;
+        h.statesGenerated = result_.statesGenerated;
+        h.transitionsFired = result_.transitionsFired;
+        w.begin(h);
+        if (compaction_) {
+            w.beginVisited(visitedHashes_.size(), true);
+            for (uint64_t v : visitedHashes_)
+                w.addVisitedHash(v);
+        } else {
+            w.beginVisited(visited_.size(), false);
+            for (const std::string &enc : visited_)
+                w.addVisitedExact(enc);
+        }
+        if (tracing_) {
+            w.beginFrontier(frontier_.size() - head_);
+            for (size_t i = head_; i < frontier_.size(); ++i)
+                w.addFrontierState(frontier_[i]);
+        } else {
+            w.beginFrontier(queue_.size());
+            for (const SysState &st : queue_)
+                w.addFrontierState(st);
+        }
+        w.addCensus(sys_);
+        CheckpointIo io = w.commit();
+        lastCheckpointMs_ = wall_.ms();
+        if (io.ok) {
+            ++result_.checkpointsWritten;
+            result_.checkpointBytes += io.bytes;
+            result_.checkpointFile = opts_.checkpointPath;
+            instr_.noteCheckpointWrite(io.bytes, sw.ms());
+        } else {
+            warn("checkpoint write failed: ", io.error);
+        }
+    }
+
+    /** Seed the run from a validated checkpoint instead of the
+     *  initial state (check() has already verified compatibility). */
+    void
+    restoreFrom(const CheckpointData &d)
+    {
+        util::Stopwatch sw;
+        result_.statesExplored = d.header.statesExplored;
+        result_.statesGenerated = d.header.statesGenerated;
+        result_.transitionsFired = d.header.transitionsFired;
+        result_.resumedFromCheckpoint = true;
+        result_.degradedToCompaction = d.header.degraded;
+        if (d.header.storedAsHashes) {
+            visitedHashes_.insert(d.visitedHashes.begin(),
+                                  d.visitedHashes.end());
+            visitedBytes_ = visitedHashes_.size() * 8;
+            if (instr_.on()) {
+                for (size_t i = 0; i < visitedHashes_.size(); ++i)
+                    instr_.noteAccepted(8);
+            }
+        } else {
+            for (const std::string &enc : d.visitedExact) {
+                visited_.insert(enc);
+                visitedBytes_ += enc.size();
+                if (instr_.on())
+                    instr_.noteAccepted(enc.size());
+            }
+        }
+        // Frontier states are already members of the visited set, so
+        // they re-enter the work list without another dedup probe.
+        // In tracing mode they become trace roots: a post-resume
+        // violation's counterexample starts at the resume point.
+        for (const SysState &st : d.frontier) {
+            if (tracing_) {
+                frontier_.push_back(st);
+                parents_.emplace_back(SIZE_MAX, "resumed");
+            } else {
+                queue_.push_back(st);
+            }
+        }
+        if (instr_.on())
+            instr_.setQueueDepth(d.frontier.size());
+        instr_.noteCheckpointRestore(sw.ms());
     }
 
     void
@@ -612,19 +860,21 @@ class Checker
         } else {
             st.encodeTo(encScratch_);
         }
-        if (opts_.hashCompaction) {
+        if (compaction_) {
             uint64_t h = hashState(encScratch_, opts_.compactionSeed);
             if (!visitedHashes_.insert(h).second) {
                 if (instr_.on())
                     instr_.noteDedupHit();
                 return nullptr;
             }
+            visitedBytes_ += 8;
         } else {
             if (!visited_.insert(encScratch_).second) {
                 if (instr_.on())
                     instr_.noteDedupHit();
                 return nullptr;
             }
+            visitedBytes_ += encScratch_.size();
         }
         if (instr_.on()) {
             instr_.noteAccepted(encScratch_.size());
@@ -657,7 +907,7 @@ class Checker
     {
         result_.errorKind = kind;
         result_.detail = detail;
-        if (opts_.traceOnError && !opts_.hashCompaction) {
+        if (tracing_) {
             buildTrace(parent);
             result_.trace.push_back(how + "  =>  " +
                                     describeState(sys_, bad));
@@ -766,8 +1016,8 @@ class Checker
     {
         result_.ok = ok && result_.errorKind.empty();
         result_.symmetryReduction = symmetry_;
-        result_.hashCompaction = opts_.hashCompaction;
-        if (opts_.hashCompaction) {
+        result_.hashCompaction = compaction_;
+        if (compaction_) {
             // Stern–Dill style bound: expected omitted states is about
             // n^2 / 2^b for n states hashed into b-bit signatures.
             double n = static_cast<double>(result_.statesGenerated);
@@ -800,10 +1050,18 @@ class ParallelChecker
     ParallelChecker(const System &sys, const CheckOptions &opts,
                     unsigned threads)
         : sys_(sys), opts_(opts), numThreads_(threads),
-          tracing_(opts.traceOnError && !opts.hashCompaction),
+          compaction_(opts.hashCompaction ||
+                      (opts.resume &&
+                       opts.resume->header.storedAsHashes)),
+          tracing_(opts.traceOnError && !compaction_),
           symmetry_(opts.symmetryReduction && !sys.symClasses.empty()),
           instr_(opts, threads, tracing_)
-    {}
+    {
+        if (!opts_.checkpointPath.empty() || opts_.resume) {
+            fingerprint_ = optionsFingerprint(opts_);
+            sysHash_ = systemConfigHash(sys_);
+        }
+    }
 
     CheckResult
     run()
@@ -819,8 +1077,10 @@ class ParallelChecker
             instr_.startProgress([this] { return sample(); });
         }
 
-        SysState init = initialState(sys_, opts_.accessBudget);
-        {
+        if (opts_.resume) {
+            restoreFrom(*opts_.resume);
+        } else {
+            SysState init = initialState(sys_, opts_.accessBudget);
             WorkerCtx ws;
             ++generatedCount_;
             if (instr_.on())
@@ -841,10 +1101,17 @@ class ParallelChecker
                 instr_.setQueueDepth(1);
         }
 
+        lastCheckpointMs_ = 0;
+        alive_ = numThreads_;
         std::vector<std::thread> workers;
         workers.reserve(numThreads_);
         for (unsigned t = 0; t < numThreads_; ++t)
             workers.emplace_back([this, t] { workerLoop(t); });
+        bool coordinate = !opts_.checkpointPath.empty() ||
+                          opts_.stopRequested != nullptr ||
+                          opts_.maxResidentBytes != 0;
+        if (coordinate)
+            coordinatorLoop();
         for (auto &w : workers)
             w.join();
 
@@ -855,6 +1122,9 @@ class ParallelChecker
             result_.errorKind = error_.kind;
             result_.detail = error_.detail;
             result_.hitStateLimit = error_.isLimit;
+            result_.resumable = error_.kind == "state-limit" ||
+                                error_.kind == "interrupted" ||
+                                error_.kind == "memory-limit";
             if (tracing_) {
                 buildTrace(error_.node);
                 if (error_.hasBad) {
@@ -868,10 +1138,19 @@ class ParallelChecker
                 }
             }
         }
+        // Workers are joined: flush a final resume artifact with the
+        // queue exactly as the abort left it.
+        if (result_.resumable)
+            writeCheckpointQuiescent();
         result_.ok = !hasError_;
         result_.symmetryReduction = symmetry_;
-        result_.hashCompaction = opts_.hashCompaction;
-        if (opts_.hashCompaction) {
+        result_.hashCompaction = compaction_;
+        result_.resumedFromCheckpoint = opts_.resume != nullptr;
+        result_.checkpointsWritten = cpWritten_;
+        result_.checkpointBytes = cpBytesTotal_;
+        if (cpWritten_ > 0)
+            result_.checkpointFile = opts_.checkpointPath;
+        if (compaction_) {
             double n = static_cast<double>(result_.statesGenerated);
             result_.omissionProbability = n * n / 1.8446744e19;
         }
@@ -938,7 +1217,12 @@ class ParallelChecker
     const System &sys_;
     const CheckOptions &opts_;
     const unsigned numThreads_;
-    const bool tracing_;
+    // Not const: the coordinator degrades the run to compaction at a
+    // rendezvous (all workers parked, so the writes are ordered by
+    // cpMu_ against every worker's reads), and a resume from a
+    // degraded checkpoint starts that way.
+    bool compaction_;
+    bool tracing_;
     const bool symmetry_;  ///< canonicalize states before dedup
     CheckResult result_;
 
@@ -960,6 +1244,29 @@ class ParallelChecker
     std::atomic<uint64_t> exploredCount_{0};
     std::atomic<uint64_t> generatedCount_{0};
     std::atomic<uint64_t> firedCount_{0};
+
+    // Checkpoint rendezvous. The coordinator (the run() thread)
+    // raises cpRequest_; workers park at their next batch boundary
+    // (and exiting workers retire), until cpParked_ == alive_. With
+    // every worker parked the coordinator may touch the queue, the
+    // shards and the census marks without their locks.
+    std::atomic<bool> cpRequest_{false};
+    std::mutex cpMu_;
+    std::condition_variable cpCv_;
+    unsigned cpParked_ = 0;  ///< guarded by cpMu_
+    unsigned alive_ = 0;     ///< workers not yet exited; cpMu_
+    bool interruptSeen_ = false;  ///< coordinator-only
+
+    // Engine-owned accounting for the memory watermark (works with
+    // telemetry off) and for the result's checkpoint bookkeeping
+    // (coordinator/run()-thread only).
+    std::atomic<uint64_t> visitedCount_{0};
+    std::atomic<uint64_t> visitedBytes_{0};
+    uint64_t fingerprint_ = 0;
+    uint64_t sysHash_ = 0;
+    uint64_t cpWritten_ = 0;
+    uint64_t cpBytesTotal_ = 0;
+    double lastCheckpointMs_ = 0;
 
     Instr instr_;
     util::Stopwatch wall_;
@@ -991,7 +1298,7 @@ class ParallelChecker
     insertVisited(const std::string &enc)
     {
         bool fresh;
-        if (opts_.hashCompaction) {
+        if (compaction_) {
             uint64_t h = hashState(enc, opts_.compactionSeed);
             Shard &s = shards_[h & (kShardCount - 1)];
             std::lock_guard<std::mutex> lk(s.mu);
@@ -1001,6 +1308,11 @@ class ParallelChecker
             Shard &s = shards_[h & (kShardCount - 1)];
             std::lock_guard<std::mutex> lk(s.mu);
             fresh = s.exact.insert(enc).second;
+        }
+        if (fresh) {
+            visitedCount_.fetch_add(1, std::memory_order_relaxed);
+            visitedBytes_.fetch_add(compaction_ ? 8 : enc.size(),
+                                    std::memory_order_relaxed);
         }
         if (instr_.on()) {
             if (fresh)
@@ -1067,17 +1379,23 @@ class ParallelChecker
         WorkerCtx ws;
         SpanChunker chunker(instr_.trace(), widx + 1);
         for (;;) {
+            if (cpRequest_.load(std::memory_order_relaxed))
+                parkForCheckpoint();
             ws.batch.clear();
             {
                 std::unique_lock<std::mutex> lk(qMu_);
                 qCv_.wait(lk, [this] {
                     return stop_.load(std::memory_order_relaxed) ||
+                           cpRequest_.load(
+                               std::memory_order_relaxed) ||
                            !queue_.empty() || pending_ == 0;
                 });
                 if (stop_.load(std::memory_order_relaxed) ||
                     (queue_.empty() && pending_ == 0)) {
-                    return;
+                    break;
                 }
+                if (cpRequest_.load(std::memory_order_relaxed))
+                    continue;  // park at the loop top
                 size_t take = std::min(queue_.size(), kBatch);
                 for (size_t i = 0; i < take; ++i) {
                     ws.batch.push_back(std::move(queue_.front()));
@@ -1100,12 +1418,42 @@ class ParallelChecker
             }
             flush(ws, consumed);
             if (stop_.load(std::memory_order_relaxed))
-                return;
+                break;
         }
+        retireWorker();
+    }
+
+    /** Park at a batch boundary until the coordinator has finished
+     *  its checkpoint/degrade work. cpMu_ orders the coordinator's
+     *  single-threaded mutations against this worker's return. */
+    void
+    parkForCheckpoint()
+    {
+        std::unique_lock<std::mutex> lk(cpMu_);
+        ++cpParked_;
+        cpCv_.notify_all();
+        cpCv_.wait(lk, [this] {
+            return !cpRequest_.load(std::memory_order_relaxed);
+        });
+        --cpParked_;
+    }
+
+    /** Leave the worker pool; wakes a coordinator waiting for the
+     *  park count to cover every live worker. */
+    void
+    retireWorker()
+    {
+        {
+            std::lock_guard<std::mutex> lk(cpMu_);
+            --alive_;
+        }
+        cpCv_.notify_all();
     }
 
     /** Publish a batch's successors and retire its consumed items
-     *  with a single queue-lock acquisition. */
+     *  with a single queue-lock acquisition. Unconsumed items (a
+     *  stop or state-limit broke the batch) go back on the queue so
+     *  a final checkpoint captures the complete frontier. */
     void
     flush(WorkerCtx &ws, size_t consumed)
     {
@@ -1125,6 +1473,10 @@ class ParallelChecker
                     {std::move(ws.accepted[i].state),
                      tracing_ ? base + i : SIZE_MAX});
             }
+            // Returned items were never retired, so they re-enter
+            // the queue without touching pending_.
+            for (size_t i = consumed; i < ws.batch.size(); ++i)
+                queue_.push_back(std::move(ws.batch[i]));
             pending_ += ws.accepted.size();
             pending_ -= consumed;
             wake_all = pending_ == 0 ||
@@ -1135,6 +1487,237 @@ class ParallelChecker
         }
         if (wake_all)
             qCv_.notify_all();
+    }
+
+    // ---- Coordinator (runs on the run() thread) ----
+
+    /**
+     * Poll loop for interrupt, memory watermark and checkpoint
+     * cadence while workers explore. Exits once every worker has
+     * retired.
+     */
+    void
+    coordinatorLoop()
+    {
+        std::unique_lock<std::mutex> lk(cpMu_);
+        while (alive_ > 0) {
+            cpCv_.wait_for(lk, std::chrono::milliseconds(50));
+            if (alive_ == 0)
+                break;
+            lk.unlock();
+            pollControls();
+            lk.lock();
+        }
+    }
+
+    void
+    pollControls()
+    {
+        if (opts_.stopRequested && !interruptSeen_ &&
+            opts_.stopRequested->load(std::memory_order_relaxed)) {
+            interruptSeen_ = true;
+            reportError("interrupted",
+                        "stop requested (signal or caller)", SIZE_MAX,
+                        "", nullptr, false);
+            return;  // workers drain; run() writes the artifact
+        }
+        if (opts_.maxResidentBytes && !result_.degradedToCompaction &&
+            memEstimate() > opts_.maxResidentBytes && !hasErrorNow()) {
+            if (opts_.memoryLimitPolicy ==
+                    MemoryLimitPolicy::DegradeToCompaction &&
+                !compaction_) {
+                rendezvous([this] {
+                    writeCheckpointQuiescent();
+                    degradeInQuiescence();  // disarms the watermark
+                });
+            } else {
+                reportError("memory-limit",
+                            "estimated resident memory exceeds " +
+                                std::to_string(
+                                    opts_.maxResidentBytes) +
+                                " bytes",
+                            SIZE_MAX, "", nullptr, false);
+                return;
+            }
+        }
+        if (!opts_.checkpointPath.empty() && !hasErrorNow() &&
+            wall_.ms() - lastCheckpointMs_ >=
+                opts_.checkpointIntervalSec * 1000.0) {
+            rendezvous([this] { writeCheckpointQuiescent(); });
+        }
+    }
+
+    bool
+    hasErrorNow()
+    {
+        std::lock_guard<std::mutex> lk(errMu_);
+        return hasError_;
+    }
+
+    /** Engine-owned resident-set estimate (telemetry-independent);
+     *  mirrors the sequential engine's formula. */
+    uint64_t
+    memEstimate()
+    {
+        uint64_t v = visitedCount_.load(std::memory_order_relaxed);
+        uint64_t b = visitedBytes_.load(std::memory_order_relaxed);
+        uint64_t avg = (v ? b / v : 0) * 3 + 96;
+        uint64_t depth;
+        {
+            std::lock_guard<std::mutex> lk(qMu_);
+            depth = queue_.size();
+        }
+        uint64_t est = b + v * 64 + depth * avg;
+        if (tracing_)
+            est += v * avg;  // arena keeps every accepted state
+        return est;
+    }
+
+    /**
+     * Park every live worker at a batch boundary, run @p fn with
+     * exclusive access to queue/shards/census, release. Workers hold
+     * no work items while parked (flush() precedes the park), so the
+     * snapshot is consistent: pending_ == queue_.size().
+     */
+    template <typename Fn>
+    void
+    rendezvous(Fn &&fn)
+    {
+        cpRequest_.store(true, std::memory_order_relaxed);
+        qCv_.notify_all();
+        std::unique_lock<std::mutex> lk(cpMu_);
+        cpCv_.wait(lk, [this] { return cpParked_ == alive_; });
+        if (alive_ > 0)
+            fn();  // all-exited means run() flushes the final artifact
+        cpRequest_.store(false, std::memory_order_relaxed);
+        lk.unlock();
+        cpCv_.notify_all();
+    }
+
+    /** Snapshot while quiescent: every worker parked, or all joined.
+     *  No-op without a configured path. */
+    void
+    writeCheckpointQuiescent()
+    {
+        if (opts_.checkpointPath.empty())
+            return;
+        util::Stopwatch sw;
+        CheckpointWriter w(opts_.checkpointPath);
+        CheckpointHeader h;
+        h.optionsFingerprint = fingerprint_;
+        h.systemHash = sysHash_;
+        h.storedAsHashes = compaction_;
+        h.degraded = result_.degradedToCompaction;
+        h.symmetryApplied = symmetry_;
+        h.statesExplored = exploredCount_.load();
+        h.statesGenerated = generatedCount_.load();
+        h.transitionsFired = firedCount_.load();
+        w.begin(h);
+        uint64_t vcount = 0;
+        for (Shard &s : shards_)
+            vcount += compaction_ ? s.hashes.size() : s.exact.size();
+        w.beginVisited(vcount, compaction_);
+        if (compaction_) {
+            for (Shard &s : shards_)
+                for (uint64_t v : s.hashes)
+                    w.addVisitedHash(v);
+        } else {
+            for (Shard &s : shards_)
+                for (const std::string &enc : s.exact)
+                    w.addVisitedExact(enc);
+        }
+        w.beginFrontier(queue_.size());
+        for (const Item &it : queue_)
+            w.addFrontierState(it.state);
+        w.addCensus(sys_);
+        CheckpointIo io = w.commit();
+        lastCheckpointMs_ = wall_.ms();
+        if (io.ok) {
+            ++cpWritten_;
+            cpBytesTotal_ += io.bytes;
+            instr_.noteCheckpointWrite(io.bytes, sw.ms());
+        } else {
+            warn("checkpoint write failed: ", io.error);
+        }
+    }
+
+    /**
+     * Degrade to hash compaction with every worker parked: re-shard
+     * each exact encoding by its compaction signature, drop the
+     * encodings, and stop tracing (the arena stays allocated only
+     * until run() returns; new successors no longer feed it).
+     */
+    void
+    degradeInQuiescence()
+    {
+        for (Shard &s : shards_) {
+            for (const std::string &enc : s.exact) {
+                uint64_t h = hashState(enc, opts_.compactionSeed);
+                shards_[h & (kShardCount - 1)].hashes.insert(h);
+            }
+        }
+        uint64_t total = 0;
+        for (Shard &s : shards_) {
+            std::unordered_set<std::string>().swap(s.exact);
+            total += s.hashes.size();
+        }
+        visitedCount_.store(total, std::memory_order_relaxed);
+        visitedBytes_.store(total * 8, std::memory_order_relaxed);
+        compaction_ = true;
+        tracing_ = false;
+        result_.degradedToCompaction = true;
+    }
+
+    /** Seed the run from a validated checkpoint (single-threaded:
+     *  workers have not been spawned yet). */
+    void
+    restoreFrom(const CheckpointData &d)
+    {
+        util::Stopwatch sw;
+        exploredCount_.store(d.header.statesExplored);
+        generatedCount_.store(d.header.statesGenerated);
+        firedCount_.store(d.header.transitionsFired);
+        result_.degradedToCompaction = d.header.degraded;
+        if (d.header.storedAsHashes) {
+            uint64_t n = 0;
+            for (uint64_t h : d.visitedHashes) {
+                if (shards_[h & (kShardCount - 1)].hashes.insert(h)
+                        .second)
+                    ++n;
+                if (instr_.on())
+                    instr_.noteAccepted(8);
+            }
+            visitedCount_.store(n);
+            visitedBytes_.store(n * 8);
+        } else {
+            uint64_t n = 0, bytes = 0;
+            for (const std::string &enc : d.visitedExact) {
+                uint64_t h = hashState(enc, 0);
+                if (shards_[h & (kShardCount - 1)].exact.insert(enc)
+                        .second) {
+                    ++n;
+                    bytes += enc.size();
+                }
+                if (instr_.on())
+                    instr_.noteAccepted(enc.size());
+            }
+            visitedCount_.store(n);
+            visitedBytes_.store(bytes);
+        }
+        // Frontier states are already in the visited set; in tracing
+        // mode they become trace roots ("resumed").
+        for (const SysState &st : d.frontier) {
+            size_t node = SIZE_MAX;
+            if (tracing_) {
+                arena_.push_back({st, SIZE_MAX, "resumed"});
+                node = arena_.size() - 1;
+            }
+            queue_.push_back({st, node});
+        }
+        pending_ = queue_.size();
+        if (instr_.on())
+            instr_.setQueueDepth(queue_.size());
+        instr_.noteCheckpointRestore(sw.ms());
     }
 
     void
@@ -1301,6 +1884,20 @@ class ParallelChecker
 CheckResult
 check(const System &sys, const CheckOptions &opts)
 {
+    if (opts.resume) {
+        std::string err =
+            resumeCompatibilityError(*opts.resume, sys, opts);
+        if (err.empty() && !restoreCensus(sys, *opts.resume)) {
+            err = "checkpoint census does not match the system's "
+                  "machine tables; refusing to resume";
+        }
+        if (!err.empty()) {
+            CheckResult r;
+            r.errorKind = "resume-mismatch";
+            r.detail = std::move(err);
+            return r;
+        }
+    }
     unsigned threads = opts.numThreads;
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();

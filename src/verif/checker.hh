@@ -16,6 +16,7 @@
 #ifndef HIERAGEN_VERIF_CHECKER_HH
 #define HIERAGEN_VERIF_CHECKER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -29,6 +30,32 @@ struct Telemetry;
 
 namespace hieragen::verif
 {
+
+struct CheckpointData;
+
+/** What to do when estimated resident memory crosses
+ *  CheckOptions::maxResidentBytes. */
+enum class MemoryLimitPolicy : uint8_t {
+    /**
+     * Flush an emergency checkpoint (when a checkpoint path is set)
+     * and stop with errorKind "memory-limit". The run is resumable,
+     * so a preempted or memory-capped job exits with an artifact
+     * instead of being OOM-killed.
+     */
+    StopResumable,
+    /**
+     * Flush an emergency checkpoint, then degrade in place to
+     * Stern–Dill hash compaction: stored encodings collapse to 64-bit
+     * signatures (freeing most visited-set memory) and exploration
+     * continues. The verdict gains an omission probability and
+     * counterexample traces are no longer reconstructible, exactly as
+     * if hashCompaction had been requested up front. The watermark is
+     * disarmed once the degrade has happened (it has done its job);
+     * a run that was already compacted stops resumable instead, since
+     * there is nothing left to degrade.
+     */
+    DegradeToCompaction,
+};
 
 struct CheckOptions
 {
@@ -84,13 +111,53 @@ struct CheckOptions
      * has the measurement).
      */
     obs::Telemetry *telemetry = nullptr;
+
+    /**
+     * Periodic checkpointing: when non-empty, both engines snapshot
+     * the exploration (visited set, frontier queue, counters, census
+     * marks) to this path every checkpointIntervalSec seconds and on
+     * every resumable abort (state limit, interrupt, memory limit).
+     * Writes are atomic — the file is replaced via temp + fsync +
+     * rename, so a crash mid-write leaves the previous checkpoint
+     * intact. See verif/checkpoint.hh for the format.
+     */
+    std::string checkpointPath;
+    double checkpointIntervalSec = 30.0;
+
+    /**
+     * Resume from a previously loaded checkpoint (non-owning; must
+     * outlive the run). The caller is expected to have validated the
+     * fingerprints (api::VerifySession does); check() re-validates and
+     * refuses with errorKind "resume-mismatch" on any disagreement.
+     * A resumed run reproduces the verdict, canonical state count and
+     * census of an uninterrupted run, at any thread count.
+     */
+    const CheckpointData *resume = nullptr;
+
+    /**
+     * Cooperative interrupt: when non-null and set, the engines stop
+     * at the next consistent point, flush a final checkpoint (when a
+     * path is configured) and return errorKind "interrupted". The CLI
+     * points this at its SIGINT/SIGTERM flag.
+     */
+    const std::atomic<bool> *stopRequested = nullptr;
+
+    /**
+     * Bounded-memory watermark: estimated resident bytes (visited-set
+     * encodings + container overhead + frontier) above which
+     * memoryLimitPolicy fires. 0 disables the watermark.
+     */
+    uint64_t maxResidentBytes = 0;
+    MemoryLimitPolicy memoryLimitPolicy =
+        MemoryLimitPolicy::StopResumable;
 };
 
 struct CheckResult
 {
     bool ok = false;
     /** "", "swmr", "data-value", "deadlock", "protocol-error",
-     *  "state-limit" */
+     *  "state-limit", "interrupted", "memory-limit",
+     *  "resume-mismatch" */
     std::string errorKind;
     std::string detail;
 
@@ -115,6 +182,21 @@ struct CheckResult
     bool symmetryReduction = false;
     /** Whether states were stored as 64-bit signatures. */
     bool hashCompaction = false;
+
+    /** The run stopped on a resumable abort (state limit, interrupt
+     *  or memory limit) and, when checkpointsWritten > 0, a resume
+     *  artifact exists at checkpointFile. */
+    bool resumable = false;
+    /** This run was restored from a checkpoint. */
+    bool resumedFromCheckpoint = false;
+    /** The memory watermark degraded the run to hash compaction. */
+    bool degradedToCompaction = false;
+    /** Checkpoints written during this run (periodic + final). */
+    uint64_t checkpointsWritten = 0;
+    /** Total checkpoint bytes written during this run. */
+    uint64_t checkpointBytes = 0;
+    /** Path of the last checkpoint written ("" if none). */
+    std::string checkpointFile;
 
     std::vector<std::string> trace;
 
