@@ -18,7 +18,9 @@
  * and multi-threaded to record the parallel speedup.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -52,6 +54,8 @@ struct Measurement
     uint64_t statesUnreduced = 0;
     double msUnreduced = 0.0;
     double reductionFactor = 1.0;
+    // Sampled per-phase attribution (--phases, sequential runs only).
+    verif::CheckResult::PhaseBreakdown phases;
 };
 
 Measurement
@@ -77,6 +81,7 @@ runConfig(const HierProtocol &p, const std::string &proto,
                  : 0.0;
     m.omission = r.omissionProbability;
     m.symmetry = r.symmetryReduction;
+    m.phases = r.phases;
     return m;
 }
 
@@ -150,6 +155,15 @@ writeJson(const std::vector<Measurement> &rows, unsigned threads,
                 << m.msUnreduced << ", \"symmetry_reduction_factor\": "
                 << std::setprecision(3) << m.reductionFactor;
         }
+        if (m.phases.enabled) {
+            out << ", \"phases\": {\"expand_ms\": " << std::fixed
+                << std::setprecision(1) << m.phases.expandMs
+                << ", \"encode_ms\": " << m.phases.encodeMs
+                << ", \"canonicalize_ms\": " << m.phases.canonicalizeMs
+                << ", \"insert_ms\": " << m.phases.insertMs
+                << ", \"sampled_expansions\": "
+                << m.phases.sampledExpansions << "}";
+        }
         out << ", \"omission\": " << std::scientific
             << std::setprecision(3) << m.omission << "}";
         out << (i + 1 < rows.size() ? ",\n" : "\n");
@@ -218,27 +232,133 @@ runMicro()
     }
 
     // Encoding vs canonical encoding (the symmetry-reduction tax per
-    // generated state: |H|!*|L|! = 4 candidate images here).
+    // generated state: |H|!*|L|! = 4 candidate images here). The
+    // legacy fixed-width encoding is kept for diagnostics; the
+    // bit-packed one is what the checker stores.
     std::string enc;
+    std::string packed;
+    verif::EncodeScratch esc;
     constexpr uint64_t kEncIters = 500'000;
     {
         util::Stopwatch t0;
         for (uint64_t i = 0; i < kEncIters; ++i)
             st.encodeTo(enc);
-        std::cout << "  encodeTo:                " << std::fixed
+        std::cout << "  encodeTo (legacy):       " << std::fixed
                   << std::setprecision(1) << nsPerOp(kEncIters, t0)
-                  << " ns/op\n";
+                  << " ns/op, " << enc.size() << " bytes\n";
+    }
+    {
+        util::Stopwatch t0;
+        for (uint64_t i = 0; i < kEncIters; ++i)
+            st.encodeTo(sys, packed, esc);
+        std::cout << "  encodeTo (packed):       " << std::fixed
+                  << std::setprecision(1) << nsPerOp(kEncIters, t0)
+                  << " ns/op, " << packed.size() << " bytes ("
+                  << std::setprecision(2)
+                  << static_cast<double>(enc.size()) /
+                         static_cast<double>(packed.size())
+                  << "x smaller)\n";
     }
     {
         util::Stopwatch t0;
         for (uint64_t i = 0; i < kEncIters; ++i) {
             scratch = st;
-            scratch.encodeCanonicalTo(sys, enc);
+            scratch.encodeCanonicalTo(sys, enc, esc);
         }
         std::cout << "  copy + encodeCanonical:  " << std::fixed
                   << std::setprecision(1) << nsPerOp(kEncIters, t0)
                   << " ns/op  (2H+2L: 4 orbit images)\n";
     }
+    return 0;
+}
+
+// ---------------------------------------------------------------
+// --smoke: CI perf guard over one pinned configuration.
+
+/** Pull the first numeric value following "key": from @p json;
+ *  -1 when absent (good enough for our own baseline file). */
+double
+jsonNumber(const std::string &json, const std::string &key)
+{
+    size_t at = json.find("\"" + key + "\":");
+    if (at == std::string::npos)
+        return -1.0;
+    return std::strtod(json.c_str() + at + key.size() + 3, nullptr);
+}
+
+/**
+ * Perf smoke: best-of-3 sequential run of MSI/MSI stalling 2H+2L
+ * exact, compared against the committed baseline states/sec. Fails
+ * (exit 1) below 0.7x baseline — wide enough to absorb shared-runner
+ * noise, tight enough to catch a real regression in the state
+ * substrate. Also re-checks the canonical state count so a perf win
+ * that changes the explored space can't slip through as "faster".
+ */
+int
+runSmoke(const std::string &baseline_path)
+{
+    std::ifstream in(baseline_path);
+    if (!in) {
+        std::cerr << "perf-smoke: cannot read baseline "
+                  << baseline_path << "\n";
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string baseline = ss.str();
+    const double baseRate = jsonNumber(baseline, "states_per_sec");
+    const double baseStates = jsonNumber(baseline, "states");
+    if (baseRate <= 0) {
+        std::cerr << "perf-smoke: baseline lacks states_per_sec\n";
+        return 2;
+    }
+
+    Protocol l = protocols::builtinProtocol("MSI");
+    Protocol h = protocols::builtinProtocol("MSI");
+    core::HierGenOptions gopts;
+    gopts.mode = ConcurrencyMode::Stalling;
+    HierProtocol p = core::generate(l, h, gopts);
+
+    verif::CheckOptions o;
+    o.accessBudget = 2;
+    o.traceOnError = false;
+    o.numThreads = 1;
+    double best = 0.0;
+    uint64_t states = 0;
+    bool ok = true;
+    for (int run = 0; run < 3; ++run) {
+        util::Stopwatch sw;
+        auto r = verif::checkHier(p, 2, 2, o);
+        double ms = sw.ms();
+        double rate =
+            ms > 0 ? static_cast<double>(r.statesExplored) * 1e3 / ms
+                   : 0.0;
+        best = std::max(best, rate);
+        states = r.statesExplored;
+        ok = ok && r.ok;
+    }
+
+    std::cout << "perf-smoke MSI/MSI stalling 2H+2L exact (seq): "
+              << std::fixed << std::setprecision(0) << best
+              << " states/sec, baseline " << baseRate << " ("
+              << std::setprecision(2) << best / baseRate << "x), "
+              << states << " states\n";
+    if (!ok) {
+        std::cout << "perf-smoke FAIL: verification did not pass\n";
+        return 1;
+    }
+    if (baseStates > 0 &&
+        states != static_cast<uint64_t>(baseStates)) {
+        std::cout << "perf-smoke FAIL: canonical state count "
+                  << states << " != baseline "
+                  << static_cast<uint64_t>(baseStates) << "\n";
+        return 1;
+    }
+    if (best < 0.7 * baseRate) {
+        std::cout << "perf-smoke FAIL: below 0.7x baseline\n";
+        return 1;
+    }
+    std::cout << "perf-smoke PASS\n";
     return 0;
 }
 
@@ -251,6 +371,7 @@ main(int argc, char **argv)
     // MSI/MSI non-stalling flagship unless --full is given.
     bool full = false;
     bool symmetry = true;
+    bool phases = false;
     unsigned threads = 0;  // 0 = hardware concurrency
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -260,14 +381,27 @@ main(int argc, char **argv)
             symmetry = false;
         } else if (arg == "--micro") {
             return runMicro();
+        } else if (arg == "--smoke") {
+            std::string baseline = i + 1 < argc
+                                       ? argv[++i]
+                                       : "scripts/perf_baseline.json";
+            return runSmoke(baseline);
+        } else if (arg == "--phases") {
+            phases = true;
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = static_cast<unsigned>(std::stoul(argv[++i]));
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--full] [--threads N] [--no-symmetry]"
-                         " [--micro]\n";
+                         " [--micro] [--phases]"
+                         " [--smoke [baseline.json]]\n";
             return 2;
         }
+    }
+    if (phases) {
+        // Phase attribution samples inside the sequential engine, so
+        // force every sweep run onto it.
+        threads = 1;
     }
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();
@@ -302,6 +436,7 @@ main(int argc, char **argv)
             a.accessBudget = 2;
             a.traceOnError = false;
             a.symmetryReduction = symmetry;
+            a.phaseTiming = phases;
             Measurement ma = runConfig(p, proto, toString(mode),
                                        "2H+2L exact", 2, 2, a, threads);
             if (symmetry) {
@@ -322,6 +457,7 @@ main(int argc, char **argv)
             b.hashCompaction = true;
             b.traceOnError = false;
             b.symmetryReduction = symmetry;
+            b.phaseTiming = phases;
             auto seedSweep = [&](const verif::CheckOptions &base,
                                  double &omission_out) {
                 verif::CheckOptions o = base;
@@ -392,6 +528,10 @@ main(int argc, char **argv)
     fo.accessBudget = 2;
     fo.traceOnError = false;
     fo.symmetryReduction = symmetry;
+    fo.phaseTiming = phases;
+    // The flagship's canonical state count is known; pre-sizing the
+    // table skips the growth rehashes (CheckOptions::expectedStates).
+    fo.expectedStates = 2'000'000;
     Measurement seq = runConfig(flagship, "MSI/MSI", "NonStalling",
                                 "2H+2L exact seq", 2, 2, fo, 1);
     // The parallel run carries the metrics registry, so the JSON

@@ -41,6 +41,8 @@ struct ProgressSample
     uint64_t shardsOccupied = 0;   ///< visited shards holding >= 1
     uint64_t shardCount = 0;       ///< 0 for the unsharded engine
     uint64_t estMemoryBytes = 0;
+    uint64_t tableBytes = 0;       ///< measured visited-table bytes
+    double tableLoadFactor = 0.0;  ///< entries / slots, 0 when unknown
     uint64_t symSampledNs = 0;     ///< measured ns on sampled calls
     uint64_t symSampledCalls = 0;  ///< how many calls were timed
     uint64_t symCalls = 0;         ///< total canonicalizations

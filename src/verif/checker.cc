@@ -17,6 +17,7 @@
 #include "util/logging.hh"
 #include "util/stopwatch.hh"
 #include "verif/checkpoint.hh"
+#include "verif/statetable.hh"
 
 namespace hieragen::verif
 {
@@ -63,14 +64,20 @@ namespace
 
 /** FNV-1a over the encoded state, mixed with the compaction seed. */
 uint64_t
-hashState(const std::string &enc, uint64_t seed)
+hashState(const char *data, size_t len, uint64_t seed)
 {
     uint64_t h = 14695981039346656037ull ^ seed;
-    for (unsigned char c : enc) {
-        h ^= c;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
         h *= 1099511628211ull;
     }
     return h;
+}
+
+uint64_t
+hashState(const std::string &enc, uint64_t seed)
+{
+    return hashState(enc.data(), enc.size(), seed);
 }
 
 /** ExecEnv that collects sends into a SysState and flags errors. */
@@ -232,6 +239,19 @@ class Instr
         queueDepth_.store(d, std::memory_order_relaxed);
     }
 
+    /** Publish live visited-table stats (resident bytes + load
+     *  factor) so heartbeats report measured table memory instead of
+     *  the container-overhead heuristic. Engines refresh this on
+     *  their poll cadence. */
+    void
+    setTableStats(uint64_t bytes, double load_factor)
+    {
+        tableBytes_.store(bytes, std::memory_order_relaxed);
+        tableLoadPermille_.store(
+            static_cast<uint32_t>(load_factor * 1000.0),
+            std::memory_order_relaxed);
+    }
+
     // --- Checkpoint hooks (cold path; safe with telemetry off). ---
     void
     noteCheckpointWrite(uint64_t bytes, double ms)
@@ -266,6 +286,10 @@ class Instr
         s.queueDepth = queueDepth_.load(std::memory_order_relaxed);
         s.visitedEntries = visited_.load(std::memory_order_relaxed);
         s.estMemoryBytes = estMemoryBytes(s.queueDepth);
+        s.tableBytes = tableBytes_.load(std::memory_order_relaxed);
+        s.tableLoadFactor =
+            tableLoadPermille_.load(std::memory_order_relaxed) /
+            1000.0;
         s.symSampledNs = symSampledNs_->value();
         s.symSampledCalls = symSampledCalls_->value();
         s.symCalls = symCalls_->value();
@@ -278,10 +302,12 @@ class Instr
     }
 
     /**
-     * Rough resident-memory estimate: visited-set encodings plus
-     * per-entry container overhead, decoded frontier states (several
-     * times their encoding), and — in tracing mode — the trace
-     * arena/frontier, which keeps every accepted state resident.
+     * Resident-memory estimate: the measured visited-table bytes
+     * when an engine has published them (flat slot arrays + arena
+     * chunks), otherwise the legacy encodings-plus-overhead
+     * heuristic; plus decoded frontier states (several times their
+     * encoding) and — in tracing mode — the trace arena/frontier,
+     * which keeps every accepted state resident.
      */
     uint64_t
     estMemoryBytes(uint64_t queue_depth) const
@@ -289,7 +315,9 @@ class Instr
         uint64_t v = visited_.load(std::memory_order_relaxed);
         uint64_t enc = encBytes_->value();
         uint64_t avg_state = (v ? enc / v : 0) * 3 + 96;
-        uint64_t est = enc + v * 64 + queue_depth * avg_state;
+        uint64_t table = tableBytes_.load(std::memory_order_relaxed);
+        uint64_t visited_part = table ? table : enc + v * 64;
+        uint64_t est = visited_part + queue_depth * avg_state;
         if (tracing_)
             est += v * avg_state;
         return est;
@@ -368,6 +396,8 @@ class Instr
     std::atomic<uint64_t> queueDepth_{0};
     std::atomic<uint64_t> cpWrites_{0};
     std::atomic<uint64_t> cpBytes_{0};
+    std::atomic<uint64_t> tableBytes_{0};
+    std::atomic<uint32_t> tableLoadPermille_{0};
 
     obs::ProgressReporter reporter_;
 };
@@ -498,12 +528,16 @@ class Checker
                        opts.resume->header.storedAsHashes)),
           tracing_(opts.traceOnError && !compaction_),
           symmetry_(opts.symmetryReduction && !sys.symClasses.empty()),
+          table_(compaction_ ? StateTable::Mode::Hashes
+                             : StateTable::Mode::Exact),
           instr_(opts, 1, tracing_), chunker_(instr_.trace(), 1)
     {
         if (!opts_.checkpointPath.empty() || opts_.resume) {
             fingerprint_ = optionsFingerprint(opts_);
             sysHash_ = systemConfigHash(sys_);
         }
+        if (opts_.expectedStates)
+            table_.reserve(opts_.expectedStates);
     }
 
     CheckResult
@@ -555,7 +589,17 @@ class Checker
                 instr_.queuePop();
             }
 
-            size_t successors = expand(cur, idx);
+            size_t successors;
+            if (opts_.phaseTiming && (phaseTick_++ & 7) == 0) {
+                phaseSampling_ = true;
+                util::Stopwatch sw;
+                successors = expand(cur, idx);
+                expandNs_ += sw.ns();
+                ++sampledExpansions_;
+                phaseSampling_ = false;
+            } else {
+                successors = expand(cur, idx);
+            }
             chunker_.bump();
             if (!result_.errorKind.empty())
                 return finish(false);
@@ -585,23 +629,32 @@ class Checker
     std::vector<SysState> frontier_;  ///< tracing mode only
     std::deque<SysState> queue_;      ///< non-tracing mode only
     size_t head_ = 0;
-    std::unordered_set<std::string> visited_;
-    std::unordered_set<uint64_t> visitedHashes_;
+    StateTable table_;  ///< flat visited table (exact or signatures)
 
     // Trace support: parent index + event label per frontier entry.
     std::vector<std::pair<size_t, std::string>> parents_;
 
     // Per-run scratch, reused across every expansion. nextScratch_
     // keeps its vector capacity across duplicate successors, so only
-    // states that are actually new pay an allocation.
+    // states that are actually new pay an allocation; esc_ carries
+    // the canonicalization buffers across the whole run.
     std::string encScratch_;
     std::vector<char> maskScratch_;
     SysState nextScratch_;
+    EncodeScratch esc_;
 
     Instr instr_;
     SpanChunker chunker_;
     util::Stopwatch wall_;
     unsigned symTick_ = 0;  ///< canonicalization sampling cadence
+
+    // Phase-timing accumulators (opts_.phaseTiming only): sampled
+    // nanoseconds, scaled to run totals in finish().
+    bool phaseSampling_ = false;
+    unsigned phaseTick_ = 0;
+    double expandNs_ = 0, encodeNs_ = 0, insertNs_ = 0;
+    uint64_t sampledExpansions_ = 0, sampledAdds_ = 0;
+    util::Stopwatch phaseSw_;  ///< reused so untimed adds skip the clock
 
     // Checkpoint/limit machinery (all zero-cost when unused).
     uint64_t fingerprint_ = 0;
@@ -634,6 +687,9 @@ class Checker
         }
         if ((pollTick_++ & 255) != 0)
             return true;
+        if (instr_.on())
+            instr_.setTableStats(table_.memoryBytes(),
+                                 table_.loadFactor());
         if (opts_.maxResidentBytes && !result_.degradedToCompaction &&
             memEstimate() > opts_.maxResidentBytes) {
             if (opts_.memoryLimitPolicy ==
@@ -669,21 +725,20 @@ class Checker
     }
 
     /**
-     * Rough resident-set estimate, mirroring Instr::estMemoryBytes
-     * but fed from engine-owned accounting so the watermark works
-     * with telemetry off: stored bytes + per-entry container
-     * overhead + decoded frontier states (several times their
-     * encoding) + the tracing arena, which keeps every state.
+     * Resident-set estimate from engine-owned accounting, so the
+     * watermark works with telemetry off: measured table bytes (flat
+     * slot arrays + arena chunks) + decoded frontier states (several
+     * times their encoding) + the tracing arena, which keeps every
+     * state.
      */
     uint64_t
     memEstimate() const
     {
-        uint64_t v = compaction_ ? visitedHashes_.size()
-                                 : visited_.size();
+        uint64_t v = table_.size();
         uint64_t avg = (v ? visitedBytes_ / v : 0) * 3 + 96;
         uint64_t depth =
             tracing_ ? frontier_.size() - head_ : queue_.size();
-        uint64_t est = visitedBytes_ + v * 64 + depth * avg;
+        uint64_t est = table_.memoryBytes() + depth * avg;
         if (tracing_)
             est += frontier_.size() * avg;
         return est;
@@ -691,19 +746,23 @@ class Checker
 
     /**
      * Convert the exact run to hash compaction in place: encodings
-     * collapse to signatures, and the tracing frontier/parents (which
-     * pin every visited state) hand their unexpanded tail to the
+     * collapse to signatures (the replacement table is pre-sized
+     * from the live cardinality, so the transition is one pass with
+     * no rehash storm), and the tracing frontier/parents (which pin
+     * every visited state) hand their unexpanded tail to the
      * pop-and-free queue. Verdict semantics from here match a run
      * started with hashCompaction on.
      */
     void
     degradeToCompaction()
     {
-        visitedHashes_.reserve(visited_.size());
-        for (const std::string &enc : visited_)
-            visitedHashes_.insert(
-                hashState(enc, opts_.compactionSeed));
-        std::unordered_set<std::string>().swap(visited_);
+        StateTable hashes(StateTable::Mode::Hashes);
+        hashes.reserve(table_.size());
+        table_.forEachExact([&](const char *data, uint32_t len) {
+            hashes.insertHash(
+                hashState(data, len, opts_.compactionSeed));
+        });
+        table_ = std::move(hashes);
         if (tracing_) {
             for (size_t i = head_; i < frontier_.size(); ++i)
                 queue_.push_back(std::move(frontier_[i]));
@@ -714,7 +773,7 @@ class Checker
             tracing_ = false;
         }
         compaction_ = true;
-        visitedBytes_ = visitedHashes_.size() * 8;
+        visitedBytes_ = table_.size() * 8;
         result_.degradedToCompaction = true;
     }
 
@@ -738,14 +797,13 @@ class Checker
         h.statesGenerated = result_.statesGenerated;
         h.transitionsFired = result_.transitionsFired;
         w.begin(h);
+        w.beginVisited(table_.size(), compaction_);
         if (compaction_) {
-            w.beginVisited(visitedHashes_.size(), true);
-            for (uint64_t v : visitedHashes_)
-                w.addVisitedHash(v);
+            table_.forEachHash([&](uint64_t v) { w.addVisitedHash(v); });
         } else {
-            w.beginVisited(visited_.size(), false);
-            for (const std::string &enc : visited_)
-                w.addVisitedExact(enc);
+            table_.forEachExact([&](const char *data, uint32_t len) {
+                w.addVisitedExact(data, len);
+            });
         }
         if (tracing_) {
             w.beginFrontier(frontier_.size() - head_);
@@ -780,17 +838,22 @@ class Checker
         result_.transitionsFired = d.header.transitionsFired;
         result_.resumedFromCheckpoint = true;
         result_.degradedToCompaction = d.header.degraded;
+        // Pre-size from the snapshot's cardinality: the restore is
+        // one pass with no rehashes.
         if (d.header.storedAsHashes) {
-            visitedHashes_.insert(d.visitedHashes.begin(),
-                                  d.visitedHashes.end());
-            visitedBytes_ = visitedHashes_.size() * 8;
+            table_.reserve(d.visitedHashes.size());
+            for (uint64_t h : d.visitedHashes)
+                table_.insertHash(h);
+            visitedBytes_ = table_.size() * 8;
             if (instr_.on()) {
-                for (size_t i = 0; i < visitedHashes_.size(); ++i)
+                for (uint64_t i = 0; i < table_.size(); ++i)
                     instr_.noteAccepted(8);
             }
         } else {
+            table_.reserve(d.visitedExact.size());
             for (const std::string &enc : d.visitedExact) {
-                visited_.insert(enc);
+                table_.insert(hashState(enc, 0), enc.data(),
+                              static_cast<uint32_t>(enc.size()));
                 visitedBytes_ += enc.size();
                 if (instr_.on())
                     instr_.noteAccepted(enc.size());
@@ -843,39 +906,47 @@ class Checker
         ++result_.statesGenerated;
         if (instr_.on())
             instr_.noteGenerated();
+        if (phaseSampling_)
+            phaseSw_.restart();
         if (symmetry_) {
             if (instr_.on()) {
                 instr_.noteSymCall();
                 if (Instr::sampleTick(symTick_)) {
                     util::Stopwatch sw;
-                    st.encodeCanonicalTo(sys_, encScratch_);
+                    st.encodeCanonicalTo(sys_, encScratch_, esc_);
                     instr_.noteSymSample(
                         static_cast<uint64_t>(sw.ns()));
                 } else {
-                    st.encodeCanonicalTo(sys_, encScratch_);
+                    st.encodeCanonicalTo(sys_, encScratch_, esc_);
                 }
             } else {
-                st.encodeCanonicalTo(sys_, encScratch_);
+                st.encodeCanonicalTo(sys_, encScratch_, esc_);
             }
         } else {
-            st.encodeTo(encScratch_);
+            st.encodeTo(sys_, encScratch_, esc_);
         }
+        if (phaseSampling_) {
+            encodeNs_ += phaseSw_.ns();
+            ++sampledAdds_;
+            phaseSw_.restart();
+        }
+        bool fresh;
         if (compaction_) {
-            uint64_t h = hashState(encScratch_, opts_.compactionSeed);
-            if (!visitedHashes_.insert(h).second) {
-                if (instr_.on())
-                    instr_.noteDedupHit();
-                return nullptr;
-            }
-            visitedBytes_ += 8;
+            fresh = table_.insertHash(
+                hashState(encScratch_, opts_.compactionSeed));
         } else {
-            if (!visited_.insert(encScratch_).second) {
-                if (instr_.on())
-                    instr_.noteDedupHit();
-                return nullptr;
-            }
-            visitedBytes_ += encScratch_.size();
+            fresh = table_.insert(
+                hashState(encScratch_, 0), encScratch_.data(),
+                static_cast<uint32_t>(encScratch_.size()));
         }
+        if (phaseSampling_)
+            insertNs_ += phaseSw_.ns();
+        if (!fresh) {
+            if (instr_.on())
+                instr_.noteDedupHit();
+            return nullptr;
+        }
+        visitedBytes_ += compaction_ ? 8 : encScratch_.size();
         if (instr_.on()) {
             instr_.noteAccepted(encScratch_.size());
             instr_.queuePush();
@@ -1023,6 +1094,26 @@ class Checker
             double n = static_cast<double>(result_.statesGenerated);
             result_.omissionProbability = n * n / 1.8446744e19;
         }
+        if (opts_.phaseTiming && sampledExpansions_ > 0) {
+            // Scale the 1-in-8 samples back to run totals.
+            double expandScale =
+                static_cast<double>(result_.statesExplored) /
+                static_cast<double>(sampledExpansions_);
+            double addScale =
+                sampledAdds_
+                    ? static_cast<double>(result_.statesGenerated) /
+                          static_cast<double>(sampledAdds_)
+                    : 0.0;
+            result_.phases.enabled = true;
+            result_.phases.expandMs = expandNs_ * expandScale / 1e6;
+            double enc_ms = encodeNs_ * addScale / 1e6;
+            if (symmetry_)
+                result_.phases.canonicalizeMs = enc_ms;
+            else
+                result_.phases.encodeMs = enc_ms;
+            result_.phases.insertMs = insertNs_ * addScale / 1e6;
+            result_.phases.sampledExpansions = sampledExpansions_;
+        }
         chunker_.flush();
         instr_.finalize(result_, wall_.ms());
         return result_;
@@ -1061,6 +1152,14 @@ class ParallelChecker
             fingerprint_ = optionsFingerprint(opts_);
             sysHash_ = systemConfigHash(sys_);
         }
+        if (compaction_) {
+            for (Shard &s : shards_)
+                s.table = StateTable(StateTable::Mode::Hashes);
+        }
+        if (opts_.expectedStates) {
+            for (Shard &s : shards_)
+                s.table.reserve(opts_.expectedStates / kShardCount + 1);
+        }
     }
 
     CheckResult
@@ -1086,9 +1185,9 @@ class ParallelChecker
             if (instr_.on())
                 instr_.noteGenerated();
             if (symmetry_)
-                init.encodeCanonicalTo(sys_, ws.enc);
+                init.encodeCanonicalTo(sys_, ws.enc, ws.esc);
             else
-                init.encodeTo(ws.enc);
+                init.encodeTo(sys_, ws.enc, ws.esc);
             insertVisited(ws.enc);
             size_t node = SIZE_MAX;
             if (tracing_) {
@@ -1165,8 +1264,7 @@ class ParallelChecker
     struct Shard
     {
         std::mutex mu;
-        std::unordered_set<std::string> exact;
-        std::unordered_set<uint64_t> hashes;
+        StateTable table{StateTable::Mode::Exact};
     };
 
     struct TraceNode
@@ -1198,8 +1296,10 @@ class ParallelChecker
         std::vector<Item> batch;
         std::vector<Accepted> accepted;
         // Successor scratch: duplicate successors are discarded
-        // without moving it, so its vector capacity is reused.
+        // without moving it, so its vector capacity is reused; esc
+        // carries the canonicalization buffers across the batch.
         SysState next;
+        EncodeScratch esc;
         unsigned symTick = 0;  ///< 1-in-64 canonicalization sampling
     };
 
@@ -1283,17 +1383,30 @@ class ParallelChecker
         s.transitionsFired =
             firedCount_.load(std::memory_order_relaxed);
         s.shardCount = kShardCount;
-        uint64_t occupied = 0;
+        uint64_t occupied = 0, tableBytes = 0, entries = 0, slots = 0;
         for (Shard &sh : shards_) {
             std::lock_guard<std::mutex> lk(sh.mu);
-            if (!sh.exact.empty() || !sh.hashes.empty())
+            if (sh.table.size() > 0)
                 ++occupied;
+            tableBytes += sh.table.memoryBytes();
+            entries += sh.table.size();
+            slots += sh.table.capacity();
         }
         s.shardsOccupied = occupied;
+        s.tableBytes = tableBytes;
+        s.tableLoadFactor =
+            slots ? static_cast<double>(entries) /
+                        static_cast<double>(slots)
+                  : 0.0;
+        instr_.setTableStats(tableBytes, s.tableLoadFactor);
+        s.estMemoryBytes = instr_.estMemoryBytes(s.queueDepth);
         return s;
     }
 
-    /** Insert into the sharded visited set; true if new. */
+    /** Insert into the sharded visited table; true if new. The
+     *  fingerprint picks the shard by its low bits; the table probes
+     *  from a scrambled start index, so sharding and probing never
+     *  collide on the same bits. */
     bool
     insertVisited(const std::string &enc)
     {
@@ -1302,12 +1415,13 @@ class ParallelChecker
             uint64_t h = hashState(enc, opts_.compactionSeed);
             Shard &s = shards_[h & (kShardCount - 1)];
             std::lock_guard<std::mutex> lk(s.mu);
-            fresh = s.hashes.insert(h).second;
+            fresh = s.table.insertHash(h);
         } else {
             uint64_t h = hashState(enc, 0);
             Shard &s = shards_[h & (kShardCount - 1)];
             std::lock_guard<std::mutex> lk(s.mu);
-            fresh = s.exact.insert(enc).second;
+            fresh = s.table.insert(
+                h, enc.data(), static_cast<uint32_t>(enc.size()));
         }
         if (fresh) {
             visitedCount_.fetch_add(1, std::memory_order_relaxed);
@@ -1555,19 +1669,25 @@ class ParallelChecker
     }
 
     /** Engine-owned resident-set estimate (telemetry-independent);
-     *  mirrors the sequential engine's formula. */
+     *  mirrors the sequential engine's formula, with the visited
+     *  component measured from the shard tables. */
     uint64_t
     memEstimate()
     {
         uint64_t v = visitedCount_.load(std::memory_order_relaxed);
         uint64_t b = visitedBytes_.load(std::memory_order_relaxed);
         uint64_t avg = (v ? b / v : 0) * 3 + 96;
+        uint64_t tableBytes = 0;
+        for (Shard &s : shards_) {
+            std::lock_guard<std::mutex> lk(s.mu);
+            tableBytes += s.table.memoryBytes();
+        }
         uint64_t depth;
         {
             std::lock_guard<std::mutex> lk(qMu_);
             depth = queue_.size();
         }
-        uint64_t est = b + v * 64 + depth * avg;
+        uint64_t est = tableBytes + depth * avg;
         if (tracing_)
             est += v * avg;  // arena keeps every accepted state
         return est;
@@ -1615,16 +1735,18 @@ class ParallelChecker
         w.begin(h);
         uint64_t vcount = 0;
         for (Shard &s : shards_)
-            vcount += compaction_ ? s.hashes.size() : s.exact.size();
+            vcount += s.table.size();
         w.beginVisited(vcount, compaction_);
         if (compaction_) {
             for (Shard &s : shards_)
-                for (uint64_t v : s.hashes)
-                    w.addVisitedHash(v);
+                s.table.forEachHash(
+                    [&](uint64_t v) { w.addVisitedHash(v); });
         } else {
             for (Shard &s : shards_)
-                for (const std::string &enc : s.exact)
-                    w.addVisitedExact(enc);
+                s.table.forEachExact(
+                    [&](const char *data, uint32_t len) {
+                        w.addVisitedExact(data, len);
+                    });
         }
         w.beginFrontier(queue_.size());
         for (const Item &it : queue_)
@@ -1645,21 +1767,37 @@ class ParallelChecker
      * Degrade to hash compaction with every worker parked: re-shard
      * each exact encoding by its compaction signature, drop the
      * encodings, and stop tracing (the arena stays allocated only
-     * until run() returns; new successors no longer feed it).
+     * until run() returns; new successors no longer feed it). The
+     * replacement tables are pre-sized from the live cardinality, so
+     * the transition is one redistribution pass with no rehash storm
+     * at the memory watermark.
      */
     void
     degradeInQuiescence()
     {
+        uint64_t liveStates = 0;
+        for (Shard &s : shards_)
+            liveStates += s.table.size();
+        std::vector<StateTable> hashed;
+        hashed.reserve(kShardCount);
+        for (size_t i = 0; i < kShardCount; ++i) {
+            hashed.emplace_back(StateTable::Mode::Hashes);
+            // Signatures spread evenly over shards; leave headroom so
+            // an unlucky shard still avoids a second grow.
+            hashed.back().reserve(liveStates / kShardCount +
+                                  liveStates / (4 * kShardCount) + 1);
+        }
         for (Shard &s : shards_) {
-            for (const std::string &enc : s.exact) {
-                uint64_t h = hashState(enc, opts_.compactionSeed);
-                shards_[h & (kShardCount - 1)].hashes.insert(h);
-            }
+            s.table.forEachExact([&](const char *data, uint32_t len) {
+                uint64_t h =
+                    hashState(data, len, opts_.compactionSeed);
+                hashed[h & (kShardCount - 1)].insertHash(h);
+            });
         }
         uint64_t total = 0;
-        for (Shard &s : shards_) {
-            std::unordered_set<std::string>().swap(s.exact);
-            total += s.hashes.size();
+        for (size_t i = 0; i < kShardCount; ++i) {
+            shards_[i].table = std::move(hashed[i]);
+            total += shards_[i].table.size();
         }
         visitedCount_.store(total, std::memory_order_relaxed);
         visitedBytes_.store(total * 8, std::memory_order_relaxed);
@@ -1678,11 +1816,18 @@ class ParallelChecker
         generatedCount_.store(d.header.statesGenerated);
         firedCount_.store(d.header.transitionsFired);
         result_.degradedToCompaction = d.header.degraded;
+        // Pre-size every shard from the snapshot's cardinality so
+        // the restore is one pass with no rehashes.
+        uint64_t stored = d.header.storedAsHashes
+                              ? d.visitedHashes.size()
+                              : d.visitedExact.size();
+        for (Shard &s : shards_)
+            s.table.reserve(stored / kShardCount +
+                            stored / (4 * kShardCount) + 1);
         if (d.header.storedAsHashes) {
             uint64_t n = 0;
             for (uint64_t h : d.visitedHashes) {
-                if (shards_[h & (kShardCount - 1)].hashes.insert(h)
-                        .second)
+                if (shards_[h & (kShardCount - 1)].table.insertHash(h))
                     ++n;
                 if (instr_.on())
                     instr_.noteAccepted(8);
@@ -1693,8 +1838,9 @@ class ParallelChecker
             uint64_t n = 0, bytes = 0;
             for (const std::string &enc : d.visitedExact) {
                 uint64_t h = hashState(enc, 0);
-                if (shards_[h & (kShardCount - 1)].exact.insert(enc)
-                        .second) {
+                if (shards_[h & (kShardCount - 1)].table.insert(
+                        h, enc.data(),
+                        static_cast<uint32_t>(enc.size()))) {
                     ++n;
                     bytes += enc.size();
                 }
@@ -1755,17 +1901,17 @@ class ParallelChecker
                 instr_.noteSymCall();
                 if (Instr::sampleTick(ws.symTick)) {
                     util::Stopwatch sw;
-                    next.encodeCanonicalTo(sys_, ws.enc);
+                    next.encodeCanonicalTo(sys_, ws.enc, ws.esc);
                     instr_.noteSymSample(
                         static_cast<uint64_t>(sw.ns()));
                 } else {
-                    next.encodeCanonicalTo(sys_, ws.enc);
+                    next.encodeCanonicalTo(sys_, ws.enc, ws.esc);
                 }
             } else {
-                next.encodeCanonicalTo(sys_, ws.enc);
+                next.encodeCanonicalTo(sys_, ws.enc, ws.esc);
             }
         } else {
-            next.encodeTo(ws.enc);
+            next.encodeTo(sys_, ws.enc, ws.esc);
         }
         if (!insertVisited(ws.enc))
             return true;

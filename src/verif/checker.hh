@@ -150,6 +150,26 @@ struct CheckOptions
     uint64_t maxResidentBytes = 0;
     MemoryLimitPolicy memoryLimitPolicy =
         MemoryLimitPolicy::StopResumable;
+
+    /**
+     * Pre-size hint for the visited tables: expected number of
+     * unique (canonical) states. 0 = start small and grow; growth is
+     * amortized-cheap (the arena never moves, only the fingerprint
+     * slots are re-probed), so the hint mainly avoids the last one
+     * or two large rehash pauses on runs whose size is known — the
+     * bench and resume paths set it. Not part of the checkpoint
+     * options fingerprint (it cannot change the explored space).
+     */
+    uint64_t expectedStates = 0;
+
+    /**
+     * Sampled per-phase wall-time attribution (sequential engine
+     * only): time 1-in-8 expansions, splitting encode/canonicalize,
+     * visited-table insert, and the remaining expansion work, scaled
+     * back to run totals in CheckResult::phases. Off by default; the
+     * hot loop then pays only a predictable branch.
+     */
+    bool phaseTiming = false;
 };
 
 struct CheckResult
@@ -208,6 +228,28 @@ struct CheckResult
      * violation and hash compaction is off.
      */
     std::vector<std::string> traceStepsJson;
+
+    /**
+     * Sampled wall-time attribution (filled when
+     * CheckOptions::phaseTiming is set and the sequential engine
+     * ran). Semantics: `expandMs` covers whole state expansions
+     * including successor generation, encoding and dedup;
+     * `encodeMs`/`canonicalizeMs` cover the successor encoding step
+     * (canonicalization subsumes its internal orbit encodings);
+     * `insertMs` covers the visited-table probe/insert. All values
+     * are scaled up from a 1-in-8 sample, so they are estimates good
+     * to a few percent, not exact sums.
+     */
+    struct PhaseBreakdown
+    {
+        bool enabled = false;
+        double expandMs = 0.0;
+        double encodeMs = 0.0;
+        double canonicalizeMs = 0.0;
+        double insertMs = 0.0;
+        uint64_t sampledExpansions = 0;
+    };
+    PhaseBreakdown phases;
 
     std::string summary() const;
 

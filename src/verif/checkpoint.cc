@@ -414,8 +414,14 @@ CheckpointWriter::beginVisited(uint64_t count, bool as_hashes)
 void
 CheckpointWriter::addVisitedExact(const std::string &enc)
 {
-    put32(static_cast<uint32_t>(enc.size()));
-    putBytes(enc.data(), enc.size());
+    addVisitedExact(enc.data(), static_cast<uint32_t>(enc.size()));
+}
+
+void
+CheckpointWriter::addVisitedExact(const char *data, uint32_t len)
+{
+    put32(len);
+    putBytes(data, len);
     if (buf_.size() >= kFlushThreshold)
         flushBuf();
 }

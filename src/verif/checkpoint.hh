@@ -12,7 +12,7 @@
  * and a structural hash of the System, so a resume against different
  * semantics is refused instead of silently diverging.
  *
- * On-disk format (version 1, little-endian, see docs/VERIFIER.md):
+ * On-disk format (version 2, little-endian, see docs/VERIFIER.md):
  *
  *   magic "HGCKPT1\n"
  *   u32  format version
@@ -45,7 +45,16 @@
 namespace hieragen::verif
 {
 
-inline constexpr uint32_t kCheckpointFormatVersion = 1;
+/**
+ * Format history:
+ *   v1 — original layout; visited-exact entries held the fixed
+ *        16-bytes-per-block encoding.
+ *   v2 — visited-exact entries hold the bit-packed per-System
+ *        encoding (System::enc field widths). The container layout
+ *        is unchanged, but the bytes are not interchangeable with
+ *        v1, so v1 snapshots are refused on read.
+ */
+inline constexpr uint32_t kCheckpointFormatVersion = 2;
 
 /** Fixed-size leading section of a checkpoint. */
 struct CheckpointHeader
@@ -132,6 +141,8 @@ class CheckpointWriter
     void begin(const CheckpointHeader &h);
     void beginVisited(uint64_t count, bool as_hashes);
     void addVisitedExact(const std::string &enc);
+    /** Zero-copy variant for arena-backed encodings. */
+    void addVisitedExact(const char *data, uint32_t len);
     void addVisitedHash(uint64_t h);
     void beginFrontier(uint64_t count);
     void addFrontierState(const SysState &st);

@@ -1,0 +1,149 @@
+#include "verif/statetable.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace hieragen::verif
+{
+
+uint64_t
+StateArena::append(const char *data, uint32_t len)
+{
+    HG_ASSERT(len < kChunkSize, "arena entry exceeds chunk size");
+    if (tail_ + len > kChunkSize) {
+        chunks_.push_back(std::make_unique<char[]>(kChunkSize));
+        tail_ = 0;
+    }
+    uint64_t offset =
+        ((static_cast<uint64_t>(chunks_.size()) - 1) << kChunkShift) |
+        tail_;
+    std::memcpy(chunks_.back().get() + tail_, data, len);
+    tail_ += len;
+    used_ += len;
+    return offset;
+}
+
+void
+StateArena::clear()
+{
+    chunks_.clear();
+    tail_ = kChunkSize;
+    used_ = 0;
+}
+
+namespace
+{
+
+/** Max load factor 0.7 expressed as a rational: grow when
+ *  10 * (size + 1) > 7 * capacity. */
+bool
+overloaded(uint64_t size, uint64_t capacity)
+{
+    return 10 * (size + 1) > 7 * capacity;
+}
+
+} // namespace
+
+void
+StateTable::grow(uint64_t minCapacity)
+{
+    uint64_t cap = 64;
+    while (cap < minCapacity)
+        cap <<= 1;
+    if (cap <= fps_.size())
+        return;
+
+    std::vector<uint64_t> oldFps = std::move(fps_);
+    std::vector<uint64_t> oldRefs = std::move(refs_);
+    fps_.assign(cap, 0);
+    if (mode_ == Mode::Exact)
+        refs_.assign(cap, 0);
+    shift_ = 64 - static_cast<unsigned>(std::bit_width(cap) - 1);
+    const size_t mask = cap - 1;
+    for (size_t i = 0; i < oldFps.size(); ++i) {
+        uint64_t fp = oldFps[i];
+        if (fp == 0)
+            continue;
+        size_t j = startIndex(fp);
+        while (fps_[j] != 0)
+            j = (j + 1) & mask;
+        fps_[j] = fp;
+        if (mode_ == Mode::Exact)
+            refs_[j] = oldRefs[i];
+    }
+    if (!oldFps.empty())
+        ++rehashes_;
+}
+
+void
+StateTable::reserve(uint64_t expected)
+{
+    // Invert the load ceiling: expected entries need cap such that
+    // 10 * expected <= 7 * cap.
+    uint64_t need = (10 * expected) / 7 + 1;
+    if (need > fps_.size())
+        grow(need);
+}
+
+bool
+StateTable::insert(uint64_t fp, const char *data, uint32_t len)
+{
+    HG_ASSERT(mode_ == Mode::Exact, "insert() needs exact mode");
+    HG_ASSERT(len <= 0xffff, "encoding too long for packed ref");
+    if (fp == 0)
+        fp = 1;  // 0 marks empty slots; bytes still decide equality
+    if (overloaded(size_, fps_.size()))
+        grow(fps_.size() ? fps_.size() * 2 : 64);
+    const size_t mask = fps_.size() - 1;
+    size_t i = startIndex(fp);
+    while (fps_[i] != 0) {
+        if (fps_[i] == fp) {
+            uint64_t ref = refs_[i];
+            if ((ref & 0xffff) == len &&
+                std::memcmp(arena_.at(ref >> 16), data, len) == 0)
+                return false;
+        }
+        i = (i + 1) & mask;
+    }
+    fps_[i] = fp;
+    refs_[i] = (arena_.append(data, len) << 16) | len;
+    ++size_;
+    return true;
+}
+
+bool
+StateTable::insertHash(uint64_t fp)
+{
+    HG_ASSERT(mode_ == Mode::Hashes, "insertHash() needs hash mode");
+    if (fp == 0) {
+        if (hasZero_)
+            return false;
+        hasZero_ = true;
+        ++size_;
+        return true;
+    }
+    if (overloaded(size_, fps_.size()))
+        grow(fps_.size() ? fps_.size() * 2 : 64);
+    const size_t mask = fps_.size() - 1;
+    size_t i = startIndex(fp);
+    while (fps_[i] != 0) {
+        if (fps_[i] == fp)
+            return false;
+        i = (i + 1) & mask;
+    }
+    fps_[i] = fp;
+    ++size_;
+    return true;
+}
+
+uint64_t
+StateTable::memoryBytes() const
+{
+    uint64_t slots = fps_.capacity() * sizeof(uint64_t) +
+                     refs_.capacity() * sizeof(uint64_t);
+    return sizeof(*this) + slots + arena_.allocatedBytes();
+}
+
+} // namespace hieragen::verif

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <sstream>
 
 #include "fsm/printer.hh"
@@ -14,9 +15,78 @@ namespace hieragen::verif
 namespace
 {
 
+/** Cap on exact group enumeration: |H|!·|L|! beyond this falls back
+ *  to the sorted-orbit heuristic (still sound, weaker reduction). */
+constexpr uint64_t kMaxEnumPerms = 1024;
+
+/** Derive the packed-encoding field widths from the instantiated
+ *  machines and message table. Widths cover value + 1 so the -1
+ *  sentinels (kNoNode, kNoState) pack as 0. */
+void
+finalizeEncoding(System &sys)
+{
+    size_t maxStates = 1;
+    for (const auto &n : sys.nodes)
+        maxStates = std::max(maxStates, n.machine->numStates());
+    sys.enc.stateBits = static_cast<uint8_t>(std::bit_width(maxStates));
+    sys.enc.nodeBits =
+        static_cast<uint8_t>(std::bit_width(sys.nodes.size()));
+    sys.enc.typeBits =
+        static_cast<uint8_t>(std::bit_width(sys.msgs->size()));
+    sys.enc.sharerBits = static_cast<uint8_t>(sys.nodes.size());
+    // Zero-message upper bound, rounded up to whole bytes: per block
+    // state + 2 flag bits + 5 byte-wide fields + TBE node refs +
+    // sharers + owner, then budgets and the ghost byte.
+    uint64_t blockBits = sys.enc.stateBits + 2 + 5 * 8 +
+                         3 * sys.enc.nodeBits + sys.enc.sharerBits;
+    uint64_t bits =
+        blockBits * sys.nodes.size() + 8 * sys.leafCaches.size() + 8;
+    sys.enc.maxBytes = static_cast<uint32_t>((bits + 7) / 8);
+}
+
+/** Enumerate the composite symmetry group once (identity excluded)
+ *  when it is small enough for exact canonicalization. */
+void
+enumerateSymPerms(System &sys)
+{
+    uint64_t numPerms = 1;
+    for (const auto &cls : sys.symClasses) {
+        for (size_t k = 2; k <= cls.size() && numPerms <= kMaxEnumPerms;
+             ++k) {
+            numPerms *= k;
+        }
+        if (numPerms > kMaxEnumPerms)
+            return;  // too large: heuristic fallback, symPerms empty
+    }
+    std::vector<std::vector<NodeId>> arrangement(sys.symClasses.begin(),
+                                                 sys.symClasses.end());
+    std::vector<NodeId> perm(sys.nodes.size());
+    for (;;) {
+        // Odometer step over per-class permutations; next_permutation
+        // wrapping back to sorted carries into the next class.
+        size_t c = 0;
+        while (c < arrangement.size() &&
+               !std::next_permutation(arrangement[c].begin(),
+                                      arrangement[c].end())) {
+            ++c;
+        }
+        if (c == arrangement.size())
+            break;  // cycled through every composite permutation
+        for (size_t i = 0; i < perm.size(); ++i)
+            perm[i] = static_cast<NodeId>(i);
+        for (size_t ci = 0; ci < sys.symClasses.size(); ++ci) {
+            const auto &cls = sys.symClasses[ci];
+            for (size_t k = 0; k < cls.size(); ++k)
+                perm[static_cast<size_t>(cls[k])] = arrangement[ci][k];
+        }
+        sys.symPerms.push_back(perm);
+    }
+}
+
 /** Fill in leafIndex and register one symmetry class per group of
  *  >= 2 interchangeable nodes (all members share one Machine and one
- *  parent by construction of the builders). */
+ *  parent by construction of the builders), then derive the packed
+ *  encoding layout and precompute the symmetry group. */
 void
 finalizeSymmetry(System &sys,
                  std::initializer_list<std::pair<NodeId, NodeId>> groups)
@@ -31,6 +101,56 @@ finalizeSymmetry(System &sys,
         for (NodeId n = first; n <= last; ++n)
             cls.push_back(n);
         sys.symClasses.push_back(std::move(cls));
+    }
+    finalizeEncoding(sys);
+    enumerateSymPerms(sys);
+}
+
+/**
+ * Canonical FIFO rank within each (src, dst) channel: the raw seq
+ * depends on send history and would break deduplication, so the
+ * encodings store the channel-relative rank instead. Counting beats
+ * sorting at realistic in-flight message counts (a handful per
+ * state), so the quadratic pass is the fast path; the sort handles
+ * pathologically deep networks.
+ */
+void
+computeRanks(const std::vector<Msg> &msgs, std::vector<uint32_t> &order,
+             std::vector<uint8_t> &ranks)
+{
+    const size_t nm = msgs.size();
+    ranks.resize(nm);
+    if (nm <= 24) {
+        for (size_t i = 0; i < nm; ++i) {
+            const Msg &m = msgs[i];
+            uint8_t rank = 0;
+            for (size_t j = 0; j < nm; ++j) {
+                const Msg &o = msgs[j];
+                rank += o.src == m.src && o.dst == m.dst &&
+                        o.seq < m.seq;
+            }
+            ranks[i] = rank;
+        }
+        return;
+    }
+    order.resize(nm);
+    for (uint32_t i = 0; i < nm; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        const Msg &x = msgs[a];
+        const Msg &y = msgs[b];
+        return std::tie(x.src, x.dst, x.seq) <
+               std::tie(y.src, y.dst, y.seq);
+    });
+    for (size_t k = 0; k < nm; ++k) {
+        const Msg &m = msgs[order[k]];
+        uint8_t rank = 0;
+        if (k > 0) {
+            const Msg &prev = msgs[order[k - 1]];
+            if (prev.src == m.src && prev.dst == m.dst)
+                rank = static_cast<uint8_t>(ranks[order[k - 1]] + 1);
+        }
+        ranks[order[k]] = rank;
     }
 }
 
@@ -278,35 +398,12 @@ SysState::encodeTo(std::string &out) const
         put32(b.sharers);
         put8(static_cast<uint8_t>(b.owner + 1));
     }
-    // Canonical FIFO rank within each (src, dst) channel: the raw seq
-    // depends on send history and would break deduplication. One sort
-    // by (src, dst, seq) replaces the old per-message O(m) scan; the
-    // scratch vectors are thread-local so parallel workers don't
+    // Scratch vectors are thread-local so parallel workers don't
     // allocate per call.
     static thread_local std::vector<uint32_t> order;
     static thread_local std::vector<uint8_t> ranks;
+    computeRanks(msgs, order, ranks);
     const size_t nm = msgs.size();
-    order.resize(nm);
-    ranks.resize(nm);
-    for (uint32_t i = 0; i < nm; ++i)
-        order[i] = i;
-    std::sort(order.begin(), order.end(),
-              [&](uint32_t a, uint32_t b) {
-                  const Msg &x = msgs[a];
-                  const Msg &y = msgs[b];
-                  return std::tie(x.src, x.dst, x.seq) <
-                         std::tie(y.src, y.dst, y.seq);
-              });
-    for (size_t k = 0; k < nm; ++k) {
-        const Msg &m = msgs[order[k]];
-        uint8_t rank = 0;
-        if (k > 0) {
-            const Msg &prev = msgs[order[k - 1]];
-            if (prev.src == m.src && prev.dst == m.dst)
-                rank = static_cast<uint8_t>(ranks[order[k - 1]] + 1);
-        }
-        ranks[order[k]] = rank;
-    }
     for (size_t i = 0; i < nm; ++i) {
         const Msg &m = msgs[i];
         put16(static_cast<uint16_t>(m.type + 1));
@@ -327,11 +424,131 @@ SysState::encodeTo(std::string &out) const
 namespace
 {
 
-/** Orbit products up to this size are enumerated exactly; larger
- *  symmetry classes fall back to the sorted-orbit heuristic. Covers
- *  the common configurations by a wide margin (2H+2L = 4 candidate
- *  permutations, 2H+3L = 12, a flat 4-cache system = 24). */
-constexpr uint64_t kMaxEnumPerms = 1024;
+/** Little-endian bit accumulator writing straight into a pre-sized
+ *  buffer (the caller guarantees capacity, so the hot path has no
+ *  bounds checks), draining four bytes at a time. Safe for fields up
+ *  to 32 bits: the residue never exceeds 31 bits before a put, so
+ *  31 + 32 < 64 never overflows the accumulator. flush() may write
+ *  up to 4 bytes of zero padding past the logical end — size the
+ *  buffer with that slack. */
+struct BitWriter
+{
+    char *p;
+    uint64_t acc = 0;
+    unsigned nbits = 0;
+
+    explicit BitWriter(char *dst) : p(dst) {}
+
+    void
+    put(uint64_t v, unsigned bits)
+    {
+        acc |= (v & ((uint64_t{1} << bits) - 1)) << nbits;
+        nbits += bits;
+        if (nbits >= 32) {
+            uint32_t word = static_cast<uint32_t>(acc);
+            std::memcpy(p, &word, 4);
+            p += 4;
+            acc >>= 32;
+            nbits -= 32;
+        }
+    }
+
+    void
+    flush()
+    {
+        uint32_t word = static_cast<uint32_t>(acc);
+        std::memcpy(p, &word, 4);
+        p += (nbits + 7) / 8;
+        acc = 0;
+        nbits = 0;
+    }
+};
+
+/** Packing body shared by encodeTo() and the orbit walk: emit the
+ *  bit-packed encoding of @p st using precomputed per-message
+ *  @p ranks (canonicalizeImpl computes ranks once per state — they
+ *  are permutation-invariant — and reuses them for every orbit
+ *  image). */
+void
+packEncode(const SysState &st, const System &sys, std::string &out,
+           const uint8_t *ranks)
+{
+    HG_ASSERT(sys.enc.valid(), "System lacks an encoding layout");
+    const EncodingLayout &L = sys.enc;
+    // Pre-size once (4 bytes of flush slack) and write through a raw
+    // pointer; the trailing resize trims to the bytes produced.
+    out.resize(L.maxBytes + st.msgs.size() * 8 + 4);
+    BitWriter w(out.data());
+    // Adjacent fields are merged into single puts — the bit layout is
+    // identical to emitting them one by one (little-endian, in order).
+    for (const auto &b : st.blocks) {
+        w.put(static_cast<uint64_t>(b.state + 1), L.stateBits);
+        w.put(static_cast<uint64_t>(b.hasData) |
+                  static_cast<uint64_t>(b.data) << 1 |
+                  static_cast<uint64_t>(
+                      static_cast<uint8_t>(b.tbe.ackCtr))
+                      << 9 |
+                  static_cast<uint64_t>(b.tbe.countReceived) << 17,
+              18);
+        w.put(static_cast<uint64_t>(b.tbe.savedRequestor + 1) |
+                  static_cast<uint64_t>(b.tbe.savedLower + 1)
+                      << L.nodeBits,
+              2u * L.nodeBits);
+        w.put(static_cast<uint64_t>(
+                  static_cast<uint8_t>(b.tbe.savedAckCount)) |
+                  static_cast<uint64_t>(
+                      static_cast<uint8_t>(b.tbe.stashedCtr))
+                      << 8 |
+                  static_cast<uint64_t>(b.tbe.stashedRecv) << 16,
+              17);
+        w.put(b.sharers, L.sharerBits);
+        w.put(static_cast<uint64_t>(b.owner + 1), L.nodeBits);
+    }
+    for (size_t i = 0; i < st.msgs.size(); ++i) {
+        const Msg &m = st.msgs[i];
+        w.put(static_cast<uint64_t>(m.type + 1) |
+                  static_cast<uint64_t>(m.src + 1) << L.typeBits |
+                  static_cast<uint64_t>(m.dst + 1)
+                      << (L.typeBits + L.nodeBits) |
+                  static_cast<uint64_t>(m.requestor + 1)
+                      << (L.typeBits + 2u * L.nodeBits),
+              L.typeBits + 3u * L.nodeBits);
+        w.put(static_cast<uint64_t>(m.epoch) |
+                  static_cast<uint64_t>(
+                      static_cast<uint8_t>(m.ackCount))
+                      << 2 |
+                  static_cast<uint64_t>(m.hasData) << 10 |
+                  static_cast<uint64_t>(m.data) << 11 |
+                  static_cast<uint64_t>(ranks[i]) << 19,
+              27);
+    }
+    size_t bi = 0;
+    for (; bi + 4 <= st.budget.size(); bi += 4) {
+        w.put(static_cast<uint64_t>(st.budget[bi]) |
+                  static_cast<uint64_t>(st.budget[bi + 1]) << 8 |
+                  static_cast<uint64_t>(st.budget[bi + 2]) << 16 |
+                  static_cast<uint64_t>(st.budget[bi + 3]) << 24,
+              32);
+    }
+    for (; bi < st.budget.size(); ++bi)
+        w.put(st.budget[bi], 8);
+    w.put(st.ghost, 8);
+    w.flush();
+    out.resize(static_cast<size_t>(w.p - out.data()));
+}
+
+} // namespace
+
+void
+SysState::encodeTo(const System &sys, std::string &out,
+                   EncodeScratch &sc) const
+{
+    computeRanks(msgs, sc.order, sc.ranks);
+    packEncode(*this, sys, out, sc.ranks.data());
+}
+
+namespace
+{
 
 /**
  * Apply a node renaming to a whole state: permute the block and
@@ -341,11 +558,16 @@ constexpr uint64_t kMaxEnumPerms = 1024;
  * FIFO seq values are carried over verbatim: a permutation maps each
  * (src, dst) channel onto another channel wholesale, so the relative
  * seq order within every channel — the only thing the encoding's
- * canonical ranks depend on — is preserved.
+ * canonical ranks depend on — is preserved. When @p ranks is
+ * non-null it holds src's per-message canonical ranks (which are
+ * permutation-invariant, by the same argument) and is co-sorted into
+ * dst's message order, sparing the caller a recompute per orbit
+ * image.
  */
 void
 applyPerm(const System &sys, const std::vector<NodeId> &perm,
-          const SysState &src, SysState &dst)
+          const SysState &src, SysState &dst,
+          uint8_t *ranks = nullptr)
 {
     const size_t n = src.blocks.size();
     auto mapId = [&](NodeId id) {
@@ -355,7 +577,8 @@ applyPerm(const System &sys, const std::vector<NodeId> &perm,
     dst.ghost = src.ghost;
     dst.blocks.resize(n);
     for (size_t i = 0; i < n; ++i) {
-        BlockState b = src.blocks[i];
+        BlockState &b = dst.blocks[static_cast<size_t>(perm[i])];
+        b = src.blocks[i];
         b.owner = mapId(b.owner);
         b.tbe.savedRequestor = mapId(b.tbe.savedRequestor);
         b.tbe.savedLower = mapId(b.tbe.savedLower);
@@ -365,7 +588,6 @@ applyPerm(const System &sys, const std::vector<NodeId> &perm,
                       perm[static_cast<size_t>(std::countr_zero(bits))]);
         }
         b.sharers = sh;
-        dst.blocks[static_cast<size_t>(perm[i])] = b;
     }
 
     dst.budget.resize(src.budget.size());
@@ -383,28 +605,30 @@ applyPerm(const System &sys, const std::vector<NodeId> &perm,
     }
     // insertMsg's invariant: sorted by the seq-blind key, with equal
     // keys (necessarily same channel) in seq order.
-    std::sort(dst.msgs.begin(), dst.msgs.end(),
-              [](const Msg &a, const Msg &b) {
-                  return std::tie(a.type, a.src, a.dst, a.requestor,
-                                  a.epoch, a.ackCount, a.hasData, a.data,
-                                  a.seq) <
-                         std::tie(b.type, b.src, b.dst, b.requestor,
-                                  b.epoch, b.ackCount, b.hasData, b.data,
-                                  b.seq);
-              });
+    auto msgLess = [](const Msg &a, const Msg &b) {
+        return std::tie(a.type, a.src, a.dst, a.requestor, a.epoch,
+                        a.ackCount, a.hasData, a.data, a.seq) <
+               std::tie(b.type, b.src, b.dst, b.requestor, b.epoch,
+                        b.ackCount, b.hasData, b.data, b.seq);
+    };
+    if (!ranks) {
+        std::sort(dst.msgs.begin(), dst.msgs.end(), msgLess);
+        return;
+    }
+    // Insertion co-sort of msgs and ranks (message counts are small;
+    // std::sort would use insertion sort at these sizes anyway).
+    for (size_t i = 1; i < dst.msgs.size(); ++i) {
+        Msg m = dst.msgs[i];
+        uint8_t r = ranks[i];
+        size_t j = i;
+        for (; j > 0 && msgLess(m, dst.msgs[j - 1]); --j) {
+            dst.msgs[j] = dst.msgs[j - 1];
+            ranks[j] = ranks[j - 1];
+        }
+        dst.msgs[j] = m;
+        ranks[j] = r;
+    }
 }
-
-/** Scratch for canonicalize(), one set per thread so the parallel
- *  checker's workers never contend or allocate in steady state. */
-struct CanonScratch
-{
-    std::vector<NodeId> perm;
-    std::vector<std::vector<NodeId>> arrangement;
-    SysState cand;
-    SysState best;
-    std::string candEnc;
-    std::string bestEnc;
-};
 
 /**
  * Sorted-orbit fallback for symmetry classes too large to enumerate:
@@ -441,82 +665,67 @@ sortedOrbitPerm(const System &sys, const SysState &st,
     }
 }
 
-/** Shared body of canonicalize()/encodeCanonicalTo(). When @p encOut
- *  is non-null it receives the canonical encoding, reusing the
- *  encoding the orbit search already computed. */
+/**
+ * Shared body of canonicalize()/encodeCanonicalTo(): minimize the
+ * bit-packed encoding over the precomputed symmetry group. @p encOut
+ * receives the canonical (packed) encoding, reusing the encoding the
+ * orbit search already computed. @p sc is caller scratch — the
+ * checker threads one instance through a whole frontier batch.
+ */
 void
-canonicalizeImpl(SysState &st, const System &sys, std::string *encOut)
+canonicalizeImpl(SysState &st, const System &sys, std::string &encOut,
+                 EncodeScratch &sc)
 {
     if (sys.symClasses.empty()) {
-        if (encOut)
-            st.encodeTo(*encOut);
+        st.encodeTo(sys, encOut, sc);
         return;
     }
 
-    static thread_local CanonScratch cs;
-    cs.perm.resize(st.blocks.size());
-
-    uint64_t numPerms = 1;
-    for (const auto &cls : sys.symClasses) {
-        for (size_t k = 2; k <= cls.size() && numPerms <= kMaxEnumPerms;
-             ++k) {
-            numPerms *= k;
-        }
-        if (numPerms > kMaxEnumPerms)
-            break;
-    }
-    if (numPerms > kMaxEnumPerms) {
-        sortedOrbitPerm(sys, st, cs.perm);
+    if (sys.symPerms.empty()) {
+        // Orbit too large to enumerate: sorted-orbit heuristic.
+        sc.perm.resize(st.blocks.size());
+        sortedOrbitPerm(sys, st, sc.perm);
         bool identity = true;
-        for (size_t i = 0; i < cs.perm.size(); ++i)
-            identity = identity && cs.perm[i] == static_cast<NodeId>(i);
+        for (size_t i = 0; i < sc.perm.size(); ++i)
+            identity = identity && sc.perm[i] == static_cast<NodeId>(i);
         if (!identity) {
-            applyPerm(sys, cs.perm, st, cs.cand);
-            std::swap(st, cs.cand);
+            applyPerm(sys, sc.perm, st, sc.cand);
+            std::swap(st, sc.cand);
         }
-        if (encOut)
-            st.encodeTo(*encOut);
+        st.encodeTo(sys, encOut, sc);
         return;
     }
 
-    // Exact mode: walk the full product group, keeping whichever
-    // image encodes lexicographically least. The minimum over the
-    // whole orbit is permutation-invariant, so every member of an
-    // orbit lands on the same representative.
-    st.encodeTo(cs.bestEnc);  // identity is the baseline
-    cs.arrangement.assign(sys.symClasses.begin(), sys.symClasses.end());
-    for (size_t i = 0; i < cs.perm.size(); ++i)
-        cs.perm[i] = static_cast<NodeId>(i);
+    // Exact mode: walk the precomputed group, keeping whichever image
+    // encodes lexicographically least. The minimum over the whole
+    // orbit is permutation-invariant, so every member of an orbit
+    // lands on the same representative. Ranks are computed once —
+    // they are invariant across the orbit — and co-sorted through
+    // each applyPerm instead of re-derived per image.
+    computeRanks(st.msgs, sc.order, sc.ranks);
+    packEncode(st, sys, encOut, sc.ranks.data());  // identity baseline
     bool haveBest = false;
-    for (;;) {
-        // Odometer step over per-class permutations; next_permutation
-        // wrapping back to sorted carries into the next class.
-        size_t c = 0;
-        while (c < cs.arrangement.size() &&
-               !std::next_permutation(cs.arrangement[c].begin(),
-                                      cs.arrangement[c].end())) {
-            ++c;
-        }
-        if (c == cs.arrangement.size())
-            break;  // cycled through every composite permutation
-        for (size_t ci = 0; ci < sys.symClasses.size(); ++ci) {
-            const auto &cls = sys.symClasses[ci];
-            for (size_t k = 0; k < cls.size(); ++k)
-                cs.perm[static_cast<size_t>(cls[k])] =
-                    cs.arrangement[ci][k];
-        }
-        applyPerm(sys, cs.perm, st, cs.cand);
-        cs.cand.encodeTo(cs.candEnc);
-        if (cs.candEnc < cs.bestEnc) {
-            cs.bestEnc.swap(cs.candEnc);
-            std::swap(cs.best, cs.cand);
+    for (const auto &perm : sys.symPerms) {
+        sc.candRanks.assign(sc.ranks.begin(), sc.ranks.end());
+        applyPerm(sys, perm, st, sc.cand, sc.candRanks.data());
+        packEncode(sc.cand, sys, sc.candEnc, sc.candRanks.data());
+        if (sc.candEnc < encOut) {
+            encOut.swap(sc.candEnc);
+            std::swap(sc.best, sc.cand);
             haveBest = true;
         }
     }
     if (haveBest)
-        std::swap(st, cs.best);
-    if (encOut)
-        encOut->assign(cs.bestEnc);
+        std::swap(st, sc.best);
+}
+
+/** Per-thread scratch backing the legacy two-argument entry points
+ *  (unit tests, non-hot callers). */
+EncodeScratch &
+tlsScratch()
+{
+    static thread_local EncodeScratch sc;
+    return sc;
 }
 
 } // namespace
@@ -524,13 +733,22 @@ canonicalizeImpl(SysState &st, const System &sys, std::string *encOut)
 void
 SysState::canonicalize(const System &sys)
 {
-    canonicalizeImpl(*this, sys, nullptr);
+    EncodeScratch &sc = tlsScratch();
+    std::string enc;
+    canonicalizeImpl(*this, sys, enc, sc);
 }
 
 void
 SysState::encodeCanonicalTo(const System &sys, std::string &out)
 {
-    canonicalizeImpl(*this, sys, &out);
+    canonicalizeImpl(*this, sys, out, tlsScratch());
+}
+
+void
+SysState::encodeCanonicalTo(const System &sys, std::string &out,
+                            EncodeScratch &sc)
+{
+    canonicalizeImpl(*this, sys, out, sc);
 }
 
 bool

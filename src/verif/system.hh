@@ -20,6 +20,24 @@
 namespace hieragen::verif
 {
 
+/**
+ * Per-System bit widths for the packed state encoding, derived once
+ * at build time from the instantiated machines and message table.
+ * Every variable-width field stores `value + 1` (so the kNoNode /
+ * kNoState sentinel packs as 0) in just enough bits for its domain;
+ * see docs/VERIFIER.md for the full field map.
+ */
+struct EncodingLayout
+{
+    uint8_t stateBits = 0;   ///< bit_width(max numStates over machines)
+    uint8_t nodeBits = 0;    ///< bit_width(numNodes), for ids + 1
+    uint8_t typeBits = 0;    ///< bit_width(numMsgTypes), for type + 1
+    uint8_t sharerBits = 0;  ///< numNodes (one presence bit per node)
+    uint32_t maxBytes = 0;   ///< upper bound on a zero-message encoding
+
+    bool valid() const { return nodeBits != 0; }
+};
+
 /** Static system description shared by every explored state. */
 struct System
 {
@@ -44,6 +62,20 @@ struct System
     /** node id -> index into leafCaches (-1 for non-leaf nodes). */
     std::vector<int32_t> leafIndex;
 
+    /** Packed-encoding field widths (set by the builders). */
+    EncodingLayout enc;
+
+    /**
+     * The full composite symmetry group, enumerated once at build
+     * time when the product of class factorials is small enough for
+     * exact canonicalization (<= kMaxEnumPerms): every non-identity
+     * node renaming as a whole-system permutation vector. Empty when
+     * the orbit is too large — canonicalization then falls back to
+     * the sorted-orbit heuristic. Precomputing this removes the
+     * per-state next_permutation odometer from the hot loop.
+     */
+    std::vector<std::vector<NodeId>> symPerms;
+
     NodeId
     dirCacheNode() const
     {
@@ -64,6 +96,8 @@ System buildFlatSystem(const Protocol &p, int num_caches);
  */
 System buildHierSystem(const HierProtocol &p, int num_cache_h,
                        int num_cache_l);
+
+struct EncodeScratch;
 
 /** One explored global state. */
 struct SysState
@@ -97,12 +131,28 @@ struct SysState
     void deliverableMask(const MsgTypeTable &types,
                          std::vector<char> &mask) const;
 
-    /** Canonical byte encoding for hashing and deduplication. */
+    /**
+     * Portable byte encoding (fixed 16 bytes/block, 10 bytes/msg).
+     * Injective over states, system-independent — kept as the
+     * diagnostic / unit-test path. The checker's hot loop uses the
+     * bit-packed encodeTo(sys, out, scratch) overload instead, which
+     * defines the same equality classes in ~2.5x fewer bytes.
+     */
     std::string encode() const;
 
     /** encode() into a caller-owned buffer (cleared first), so hot
      *  loops can reuse one allocation per thread. */
     void encodeTo(std::string &out) const;
+
+    /**
+     * Bit-packed encoding using sys.enc field widths: the dedup/hash
+     * representation the checker and checkpoints store. Injective
+     * over states of @p sys (see docs/VERIFIER.md for the proof
+     * sketch); NOT portable across different Systems. @p sc supplies
+     * reusable rank-computation scratch.
+     */
+    void encodeTo(const System &sys, std::string &out,
+                  EncodeScratch &sc) const;
 
     /**
      * Symmetry reduction: replace *this with the representative of
@@ -119,12 +169,38 @@ struct SysState
     void canonicalize(const System &sys);
 
     /** Canonical variant of encodeTo(): canonicalize() in place,
-     *  then encode. The state *is* mutated (it becomes the orbit
-     *  representative), which is what the checker stores/expands. */
+     *  then encode (bit-packed). The state *is* mutated (it becomes
+     *  the orbit representative), which is what the checker
+     *  stores/expands. */
     void encodeCanonicalTo(const System &sys, std::string &out);
+
+    /** Scratch-threading variant for the checker's frontier loop:
+     *  same result as the two-argument overload but reuses @p sc
+     *  across a whole expansion batch. */
+    void encodeCanonicalTo(const System &sys, std::string &out,
+                           EncodeScratch &sc);
 
     /** All controllers stable and no messages in flight. */
     bool quiescent(const System &sys) const;
+};
+
+/**
+ * Caller-owned scratch for the packed encode / canonicalize hot
+ * path. The checker keeps one per worker and threads it through a
+ * whole frontier batch, so orbit enumeration reuses the same
+ * permutation vector, candidate states and encoding buffers across
+ * every successor instead of re-resolving thread-locals (and
+ * reallocating) per call.
+ */
+struct EncodeScratch
+{
+    std::vector<uint32_t> order;  ///< FIFO-rank sort scratch
+    std::vector<uint8_t> ranks;   ///< canonical per-channel ranks
+    std::vector<uint8_t> candRanks;  ///< ranks co-sorted per image
+    std::vector<NodeId> perm;     ///< fallback permutation scratch
+    SysState cand;                ///< candidate orbit image
+    SysState best;                ///< best (least-encoding) image
+    std::string candEnc;          ///< candidate orbit encoding
 };
 
 /** Initial state: memory at the top-level directory, caches invalid. */
